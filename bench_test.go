@@ -1,0 +1,211 @@
+package hotgen
+
+// Benchmark harness: one benchmark per experiment table in DESIGN.md §4
+// (BenchmarkE1... through BenchmarkE11...), each regenerating the
+// corresponding paper claim at reduced-but-representative scale, plus
+// micro-benchmarks of the algorithmic hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the same rows that cmd/experiments
+// prints, so `-bench E2 -v` doubles as a quick reproduction check.
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/robust"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// benchOpts scales experiments so each bench iteration is ~100ms-1s.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 7, Scale: 0.25, Reps: 2}
+}
+
+func runExperiment(b *testing.B, run func(experiments.Options) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1FKPSweep(b *testing.B)     { runExperiment(b, experiments.E1FKPSweep) }
+func BenchmarkE2BuyAtBulk(b *testing.B)    { runExperiment(b, experiments.E2BuyAtBulk) }
+func BenchmarkE3CostRatios(b *testing.B)   { runExperiment(b, experiments.E3CostRatios) }
+func BenchmarkE4CostVsProfit(b *testing.B) { runExperiment(b, experiments.E4CostVsProfit) }
+func BenchmarkE5NationalISP(b *testing.B)  { runExperiment(b, experiments.E5NationalISP) }
+func BenchmarkE6Peering(b *testing.B)      { runExperiment(b, experiments.E6Peering) }
+func BenchmarkE7GeneratorComparison(b *testing.B) {
+	runExperiment(b, experiments.E7GeneratorComparison)
+}
+func BenchmarkE8Robustness(b *testing.B)   { runExperiment(b, experiments.E8Robustness) }
+func BenchmarkE9Redundancy(b *testing.B)   { runExperiment(b, experiments.E9Redundancy) }
+func BenchmarkE10Level2Rings(b *testing.B) { runExperiment(b, experiments.E10Level2Rings) }
+func BenchmarkE11Performance(b *testing.B) { runExperiment(b, experiments.E11Performance) }
+
+// --- Micro-benchmarks of the algorithmic hot paths ----------------------
+
+func BenchmarkFKPGrowth1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FKP(core.FKPConfig{N: 1000, Alpha: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFKPGrowth4k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FKP(core.FKPConfig{N: 4000, Alpha: 8, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMPIncremental1k(b *testing.B) {
+	in, err := access.RandomInstance(access.InstanceConfig{
+		N: 1000, Seed: 1, DemandMin: 1, DemandMax: 8, RootAtCenter: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := access.MMPIncremental(in, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleAndAugment1k(b *testing.B) {
+	in, err := access.RandomInstance(access.InstanceConfig{
+		N: 1000, Seed: 1, DemandMin: 1, DemandMax: 8, RootAtCenter: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := access.SampleAndAugment(in, int64(i), 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarabasiAlbert10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.BarabasiAlbert(10000, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTailClassification(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deg := g.Degrees()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.ClassifyTail(deg)
+	}
+}
+
+func BenchmarkBetweenness500(b *testing.B) {
+	g, err := gen.BarabasiAlbert(500, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Betweenness()
+	}
+}
+
+func BenchmarkMetricProfile(b *testing.B) {
+	g, err := gen.BarabasiAlbert(800, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComputeProfile(g, 1)
+	}
+}
+
+func BenchmarkMaxFlowBackbone(b *testing.B) {
+	g, err := gen.ErdosRenyiGNM(300, 900, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range g.Edges() {
+		g.Edge(i).Capacity = 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MaxFlow(0, 299)
+	}
+}
+
+func BenchmarkMaxMinFair(b *testing.B) {
+	g, err := gen.BarabasiAlbert(400, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range g.Edges() {
+		g.Edge(i).Capacity = 10
+	}
+	demands := make([]routing.Demand, 0, 200)
+	for i := 0; i < 200; i++ {
+		demands = append(demands, routing.Demand{Src: i, Dst: 399 - i, Volume: 5})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.MaxMinFair(g, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactAccessOPT(b *testing.B) {
+	in, err := access.RandomInstance(access.InstanceConfig{
+		N: 6, Seed: 1, DemandMin: 1, DemandMax: 8, RootAtCenter: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := access.ExactTreeOPT(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRobustnessSweep(b *testing.B) {
+	g, err := gen.BarabasiAlbert(800, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fracs := []float64{0.05, 0.1, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := robust.Sweep(g, robust.DegreeAttack, fracs, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

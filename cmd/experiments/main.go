@@ -1,0 +1,57 @@
+// Command experiments runs the paper-reproduction experiments E1–E9 from
+// DESIGN.md and prints their tables. EXPERIMENTS.md records a
+// representative full-scale run.
+//
+// Usage:
+//
+//	experiments                  # run everything at full scale
+//	experiments -only E2,E3      # a subset
+//	experiments -scale 0.2       # smaller/faster
+//	experiments -seed 7 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7); empty = all")
+		seed  = flag.Int64("seed", 42, "master seed")
+		scale = flag.Float64("scale", 1.0, "instance scale in (0,1]")
+		reps  = flag.Int("reps", 0, "Monte Carlo replications (0 = per-experiment default)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps}
+	failed := false
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,234 @@
+// Command topogen generates topologies with any of the repository's
+// models and writes them as JSON, DOT, or an adjacency list.
+//
+// Usage:
+//
+//	topogen -model fkp -n 2000 -alpha 8 -seed 1 -format json -o out.json
+//	topogen -model ba -n 5000 -m 2 -format dot
+//	topogen -model isp -cities 25 -pops 8 -customers 2000
+//	topogen -model internet -isps 8 -pops 5 -customers 300
+//
+// Models: fkp, hot, mmp (buy-at-bulk), ba, glp, er, waxman, transitstub,
+// rgg, isp, internet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/isp"
+	"repro/internal/peering"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "fkp", "topology model: fkp|hot|mmp|ring|ba|glp|er|waxman|transitstub|rgg|isp|internet")
+		n      = flag.Int("n", 1000, "number of nodes / customers")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "json", "output format: json|dot|adj")
+		out    = flag.String("o", "-", "output file ('-' = stdout)")
+
+		alpha = flag.Float64("alpha", 8, "fkp: distance weight")
+		links = flag.Int("links", 1, "hot: links per arrival")
+		ports = flag.Int("ports", 0, "fkp/hot/isp: max router degree (0 = unlimited)")
+
+		m    = flag.Int("m", 2, "ba/glp: links per new node")
+		p    = flag.Float64("p", 0.3, "glp: internal-link probability; er: edge probability")
+		beta = flag.Float64("beta", 0.5, "glp: preference shift; waxman: edge probability scale")
+		wa   = flag.Float64("waxman-alpha", 0.1, "waxman: distance decay scale")
+		rad  = flag.Float64("radius", 0.1, "rgg: connection radius")
+
+		cities    = flag.Int("cities", 25, "isp/internet: number of cities")
+		pops      = flag.Int("pops", 8, "isp/internet: POPs per provider")
+		customers = flag.Int("customers", 2000, "isp/internet: customers per provider")
+		isps      = flag.Int("isps", 8, "internet: number of providers")
+		price     = flag.Float64("price", 0, "isp: per-demand price (>0 switches to profit formulation)")
+	)
+	flag.Parse()
+
+	g, err := generate(*model, genParams{
+		n: *n, seed: *seed, alpha: *alpha, links: *links, ports: *ports,
+		m: *m, p: *p, beta: *beta, waxmanAlpha: *wa, radius: *rad,
+		cities: *cities, pops: *pops, customers: *customers, isps: *isps,
+		price: *price,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = export.WriteJSON(w, g, *model)
+	case "dot":
+		err = export.WriteDOT(w, g, *model)
+	case "adj":
+		err = export.WriteAdjacency(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "topogen: %s: %d nodes, %d edges\n", *model, g.NumNodes(), g.NumEdges())
+}
+
+type genParams struct {
+	n           int
+	seed        int64
+	alpha       float64
+	links       int
+	ports       int
+	m           int
+	p           float64
+	beta        float64
+	waxmanAlpha float64
+	radius      float64
+	cities      int
+	pops        int
+	customers   int
+	isps        int
+	price       float64
+}
+
+func generate(model string, gp genParams) (*graph.Graph, error) {
+	switch model {
+	case "fkp":
+		return core.FKP(core.FKPConfig{
+			N: gp.n, Alpha: gp.alpha, Seed: gp.seed, MaxDegree: gp.ports,
+		})
+	case "hot":
+		g, _, err := core.GrowHOT(core.HOTConfig{
+			N:    gp.n,
+			Seed: gp.seed,
+			Terms: []core.ObjectiveTerm{
+				core.DistanceTerm{Weight: gp.alpha},
+				core.CentralityTerm{Weight: 1},
+			},
+			LinksPerArrival: gp.links,
+			Constraints:     portConstraint(gp.ports),
+		})
+		return g, err
+	case "mmp":
+		in, err := access.RandomInstance(access.InstanceConfig{
+			N: gp.n, Seed: gp.seed, DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		net, err := access.MMPIncremental(in, gp.seed)
+		if err != nil {
+			return nil, err
+		}
+		return net.Graph, nil
+	case "ring":
+		in, err := access.RandomInstance(access.InstanceConfig{
+			N: gp.n, Seed: gp.seed, DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		net, err := access.RingMetro(in, 8)
+		if err != nil {
+			return nil, err
+		}
+		return net.Graph, nil
+	case "ba":
+		return gen.BarabasiAlbert(gp.n, gp.m, gp.seed)
+	case "glp":
+		return gen.GLP(gp.n, gp.m, gp.p, gp.beta, gp.seed)
+	case "er":
+		return gen.ErdosRenyiGNP(gp.n, gp.p, gp.seed)
+	case "waxman":
+		return gen.Waxman(gp.n, gp.waxmanAlpha, gp.beta, gp.seed)
+	case "transitstub":
+		stubSize := gp.n / 48
+		if stubSize < 2 {
+			stubSize = 2
+		}
+		return gen.TransitStub(gen.TransitStubConfig{
+			TransitDomains:  4,
+			TransitSize:     4,
+			StubsPerTransit: 3,
+			StubSize:        stubSize,
+			EdgeProb:        0.3,
+			Seed:            gp.seed,
+		})
+	case "rgg":
+		return gen.RandomGeometric(gp.n, gp.radius, gp.seed)
+	case "isp":
+		geo, err := traffic.GenerateGeography(traffic.GeographyConfig{
+			NumCities: gp.cities, Seed: gp.seed, ZipfExponent: 1, MinSeparation: 0.03,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := isp.Config{
+			Geography:             geo,
+			NumPOPs:               gp.pops,
+			Customers:             gp.customers,
+			Seed:                  gp.seed,
+			PerfWeight:            50,
+			MaxExtraBackboneLinks: 4,
+			MaxPorts:              gp.ports,
+			DemandMin:             1,
+			DemandMax:             8,
+		}
+		if gp.price > 0 {
+			cfg.Formulation = isp.ProfitBased
+			cfg.PricePerDemand = gp.price
+		}
+		des, err := isp.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return des.Graph, nil
+	case "internet":
+		geo, err := traffic.GenerateGeography(traffic.GeographyConfig{
+			NumCities: gp.cities, Seed: gp.seed, ZipfExponent: 1, MinSeparation: 0.03,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inet, err := peering.Assemble(peering.Config{
+			Geography:        geo,
+			NumISPs:          gp.isps,
+			Seed:             gp.seed,
+			POPsPerISP:       gp.pops,
+			CustomersPerISP:  gp.customers,
+			PeeringSetupCost: 1e-7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return inet.Router, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func portConstraint(ports int) []core.Constraint {
+	if ports <= 0 {
+		return nil
+	}
+	return []core.Constraint{core.MaxDegreeConstraint{Max: ports}}
+}

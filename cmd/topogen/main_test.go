@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+)
+
+func smallParams() genParams {
+	return genParams{
+		n: 60, seed: 1, alpha: 8, links: 1, m: 2,
+		p: 0.1, beta: 0.5, waxmanAlpha: 0.1, radius: 0.15,
+		cities: 8, pops: 3, customers: 40, isps: 3,
+	}
+}
+
+func TestGenerateAllModels(t *testing.T) {
+	models := []string{
+		"fkp", "hot", "mmp", "ring", "ba", "glp", "er",
+		"waxman", "transitstub", "rgg", "isp", "internet",
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			g, err := generate(m, smallParams())
+			if err != nil {
+				t.Fatalf("%s: %v", m, err)
+			}
+			if g.NumNodes() == 0 {
+				t.Fatalf("%s produced an empty graph", m)
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	if _, err := generate("nope", smallParams()); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestGenerateISPProfitMode(t *testing.T) {
+	gp := smallParams()
+	gp.price = 0.5
+	g, err := generate("isp", gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 {
+		t.Fatal("profit-mode ISP empty")
+	}
+}
+
+func TestGenerateWithPorts(t *testing.T) {
+	gp := smallParams()
+	gp.ports = 6
+	g, err := generate("fkp", gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 6 {
+		t.Fatalf("port cap violated: %d", g.MaxDegree())
+	}
+	if _, err := generate("hot", gp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortConstraintHelper(t *testing.T) {
+	if portConstraint(0) != nil {
+		t.Fatal("no cap should give nil constraints")
+	}
+	if len(portConstraint(4)) != 1 {
+		t.Fatal("cap should give one constraint")
+	}
+}

@@ -1,0 +1,87 @@
+// Command topostats computes the full metric suite on a topology file
+// (JSON produced by topogen, or a plain adjacency list).
+//
+// Usage:
+//
+//	topogen -model fkp -n 2000 | topostats
+//	topostats -in topo.json
+//	topostats -in edges.txt -adj
+//	topostats -in topo.json -ccdf        # also print the degree CCDF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "-", "input file ('-' = stdin)")
+		adj  = flag.Bool("adj", false, "input is an adjacency list, not JSON")
+		ccdf = flag.Bool("ccdf", false, "print the degree CCDF")
+		seed = flag.Int64("seed", 1, "seed for sampled metrics")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var g *graph.Graph
+	var name string
+	var err error
+	if *adj {
+		g, err = export.ReadAdjacency(r)
+		name = *in
+	} else {
+		g, name, err = export.ReadJSON(r)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("topology: %s\n", name)
+	fmt.Printf("nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("connected: %v\ntree: %v\nforest: %v\n", g.IsConnected(), g.IsTree(), g.IsForest())
+	ds := stats.AnalyzeDegrees(g)
+	fmt.Printf("mean degree: %.3f\nmax degree: %d (%.4f of n-1)\n",
+		ds.MeanDegree, ds.MaxDegree, ds.TopDegreeFrac)
+	fmt.Printf("degree tail: %s (power-law alpha=%.2f xmin=%d KS=%.3f; exp lambda=%.3f KS=%.3f; llr=%.2f)\n",
+		ds.Classification.Kind,
+		ds.Classification.PowerLaw.Alpha, ds.Classification.PowerLaw.XMin, ds.Classification.PowerLaw.KS,
+		ds.Classification.Exponential.Lambda, ds.Classification.Exponential.KS,
+		ds.Classification.LogLikRatio)
+	fmt.Printf("classification: %s\n", core.Classify(g))
+	fmt.Printf("clustering: %.4f\nassortativity: %.4f\n",
+		stats.ClusteringCoefficient(g), stats.DegreeAssortativity(g))
+	prof := metrics.ComputeProfile(g, *seed)
+	fmt.Printf("expansion@3: %.4f\nresilience: %.4f\ndistortion: %.3f\nhierarchy depth: %.3f\nspectral gap: %.4f\n",
+		prof.ExpansionAt3, prof.Resilience, prof.Distortion, prof.HierarchyDepth, prof.SpectralGap)
+	if g.NumNodes() <= 2000 {
+		fmt.Printf("hop diameter: %d\n", g.HopDiameter())
+	}
+	if *ccdf {
+		fmt.Println("degree CCDF (k  P[D>=k]):")
+		for _, pt := range stats.DegreeCCDF(g.Degrees()) {
+			fmt.Printf("  %4d  %.6f\n", pt.Value, pt.Frac)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "topostats: %v\n", err)
+	os.Exit(1)
+}

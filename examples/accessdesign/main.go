@@ -1,0 +1,63 @@
+// Access design: the paper's §4 case study end to end. Build a metro
+// access network for 800 customers with the buy-at-bulk cable catalog,
+// compare the randomized MMP-style heuristic against both naive extremes
+// and the lower bound, inspect the §4.2 degree-tail claim, and then add
+// path redundancy (footnote 7) and watch the tree structure break.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotgen "repro"
+)
+
+func main() {
+	in, err := hotgen.RandomAccessInstance(hotgen.AccessInstanceConfig{
+		N:            800,
+		Seed:         7,
+		DemandMin:    1,
+		DemandMax:    16,
+		Clusters:     6, // customers clump around metro clusters (§2.1)
+		RootAtCenter: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d customers, total demand %.1f, catalog %d cable types\n",
+		len(in.Customers), in.TotalDemand(), len(in.Catalog))
+	lb := hotgen.AccessLowerBound(in)
+	fmt.Printf("lower bound: %.1f\n\n", lb)
+
+	mmp, err := hotgen.MMPIncremental(in, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa, err := hotgen.SampleAndAugment(in, 1, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mst, err := hotgen.SingleCableMST(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	star, err := hotgen.DirectStar(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(name string, net *hotgen.AccessNetwork) {
+		tail := hotgen.ClassifyTail(net.Graph.Degrees())
+		fmt.Printf("%-22s cost=%8.1f (%.2fx LB)  tree=%-5v  maxDeg=%-3d  tail=%s\n",
+			name, net.TotalCost(), net.TotalCost()/lb,
+			net.Graph.IsTree(), net.Graph.MaxDegree(), tail.Kind)
+	}
+	report("mmp-incremental", mmp)
+	report("sample-and-augment", sa)
+	report("single-cable MST", mst)
+	report("direct star", star)
+
+	// Footnote 7: require path redundancy.
+	added := hotgen.AugmentTwoEdgeConnected(in, mmp)
+	fmt.Printf("\nafter 2-edge-connectivity augmentation: +%d edges, tree=%v, cost=%.1f\n",
+		added, mmp.Graph.IsTree(), mmp.TotalCost())
+}

@@ -1,0 +1,423 @@
+// Package hotgen is the public facade of this repository: an
+// optimization-driven framework for designing and generating realistic
+// Internet topologies, reproducing Alderson, Doyle, Govindan &
+// Willinger, "Toward an Optimization-Driven Framework for Designing and
+// Generating Realistic Internet Topologies" (HotNets-II, 2003).
+//
+// The library is organized as the paper is:
+//
+//   - FKP and the generalized HOT growth framework (the paper's §3.1
+//     theoretical support and the core modeling idea) — see FKP, GrowHOT,
+//     ObjectiveTerm, Constraint.
+//   - Buy-at-bulk access network design with a randomized incremental
+//     approximation and baselines (§4) — see AccessInstance,
+//     MMPIncremental, SampleAndAugment.
+//   - Single-ISP design from population centers with cost- or
+//     profit-based formulations (§2.2) — see BuildISP.
+//   - Multi-ISP assembly with optimized peering and AS-graph extraction
+//     (§2.3) — see AssembleInternet.
+//   - The comparison metric suite and descriptive baseline generators the
+//     paper argues against (§1) — see ComputeProfile and the Gen*
+//     functions.
+//
+// Everything is deterministic given explicit seeds and uses only the Go
+// standard library.
+package hotgen
+
+import (
+	"repro/internal/access"
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/isp"
+	"repro/internal/metrics"
+	"repro/internal/peering"
+	"repro/internal/robust"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/validate"
+)
+
+// Graph and topology substrate.
+type (
+	// Graph is the undirected weighted topology representation shared by
+	// all generators.
+	Graph = graph.Graph
+	// Node is a graph node annotation (role, coordinates, capacity).
+	Node = graph.Node
+	// Edge is an undirected link with weight, capacity and cable type.
+	Edge = graph.Edge
+	// NodeKind labels a node's role in the ISP hierarchy.
+	NodeKind = graph.NodeKind
+	// Point is a planar location.
+	Point = geom.Point
+	// Rect is an axis-aligned region.
+	Rect = geom.Rect
+)
+
+// Node kinds.
+const (
+	KindUnknown  = graph.KindUnknown
+	KindCore     = graph.KindCore
+	KindPOP      = graph.KindPOP
+	KindConc     = graph.KindConc
+	KindCustomer = graph.KindCustomer
+	KindPeering  = graph.KindPeering
+)
+
+// NewGraph returns an empty graph with a capacity hint.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// UnitSquare is the canonical generation region.
+var UnitSquare = geom.UnitSquare
+
+// Core contribution: FKP and the generalized HOT framework.
+type (
+	// FKPConfig parameterizes the Fabrikant–Koutsoupias–Papadimitriou
+	// incremental tradeoff model.
+	FKPConfig = core.FKPConfig
+	// HOTConfig parameterizes the generalized optimization-driven growth.
+	HOTConfig = core.HOTConfig
+	// ObjectiveTerm is one weighted component of the attachment cost.
+	ObjectiveTerm = core.ObjectiveTerm
+	// Constraint filters infeasible attachments.
+	Constraint = core.Constraint
+	// GrowthStats summarizes a GrowHOT run.
+	GrowthStats = core.GrowthStats
+	// TopologyClass is the star / power-law tree / exponential tree
+	// classification.
+	TopologyClass = core.TopologyClass
+	// CentralityMode selects the FKP centrality definition.
+	CentralityMode = core.CentralityMode
+	// DistanceTerm prices last-mile distance.
+	DistanceTerm = core.DistanceTerm
+	// CentralityTerm prices hops to the network core.
+	CentralityTerm = core.CentralityTerm
+	// LoadTerm prices attachment-target congestion.
+	LoadTerm = core.LoadTerm
+	// MaxDegreeConstraint is the router port limit.
+	MaxDegreeConstraint = core.MaxDegreeConstraint
+	// MaxLengthConstraint is the link reach limit.
+	MaxLengthConstraint = core.MaxLengthConstraint
+)
+
+// FKP grows a tree per the FKP model.
+func FKP(cfg FKPConfig) (*Graph, error) { return core.FKP(cfg) }
+
+// GrowHOT runs the generalized incremental optimization growth.
+func GrowHOT(cfg HOTConfig) (*Graph, *GrowthStats, error) { return core.GrowHOT(cfg) }
+
+// Classify assigns a TopologyClass to a generated graph.
+func Classify(g *Graph) TopologyClass { return core.Classify(g) }
+
+// Buy-at-bulk access design (§4).
+type (
+	// CableType is one {capacity, cost} catalog entry.
+	CableType = access.CableType
+	// Catalog is an economies-of-scale-ordered cable list.
+	Catalog = access.Catalog
+	// AccessInstance is one access design problem.
+	AccessInstance = access.Instance
+	// AccessNetwork is a solved access design.
+	AccessNetwork = access.Network
+	// AccessInstanceConfig parameterizes random instances.
+	AccessInstanceConfig = access.InstanceConfig
+	// AccessCustomer is a demand point.
+	AccessCustomer = access.Customer
+)
+
+// DefaultCatalog returns the paper-footnote-8 style cable catalog.
+func DefaultCatalog() Catalog { return access.DefaultCatalog() }
+
+// RandomAccessInstance draws a random access design instance.
+func RandomAccessInstance(cfg AccessInstanceConfig) (*AccessInstance, error) {
+	return access.RandomInstance(cfg)
+}
+
+// MMPIncremental solves an instance with the randomized incremental
+// cost-distance heuristic (paper reference [24]).
+func MMPIncremental(in *AccessInstance, seed int64) (*AccessNetwork, error) {
+	return access.MMPIncremental(in, seed)
+}
+
+// SampleAndAugment solves an instance with stage-based randomized
+// sample-and-augment.
+func SampleAndAugment(in *AccessInstance, seed int64, p float64) (*AccessNetwork, error) {
+	return access.SampleAndAugment(in, seed, p)
+}
+
+// SingleCableMST is the economies-of-scale-blind baseline.
+func SingleCableMST(in *AccessInstance) (*AccessNetwork, error) {
+	return access.SingleCableMST(in)
+}
+
+// DirectStar is the no-sharing baseline.
+func DirectStar(in *AccessInstance) (*AccessNetwork, error) {
+	return access.DirectStar(in)
+}
+
+// AccessLowerBound returns a valid lower bound on optimal instance cost.
+func AccessLowerBound(in *AccessInstance) float64 { return access.LowerBound(in) }
+
+// AugmentTwoEdgeConnected adds redundancy per the paper's footnote 7.
+func AugmentTwoEdgeConnected(in *AccessInstance, net *AccessNetwork) int {
+	return access.AugmentTwoEdgeConnected(in, net)
+}
+
+// RingMetro solves an access instance under a SONET-style Level-2 ring
+// technology (§2.4): customers join protected rings through the core.
+func RingMetro(in *AccessInstance, ringSize int) (*AccessNetwork, error) {
+	return access.RingMetro(in, ringSize)
+}
+
+// RingVsTreeReport quantifies the Level-2 technology tradeoff of §2.4.
+type RingVsTreeReport = access.RingVsTreeReport
+
+// CompareRingVsTree solves an instance as an MMP tree and as SONET rings
+// and reports the cost/shape tradeoff.
+func CompareRingVsTree(in *AccessInstance, seed int64, ringSize int) (*RingVsTreeReport, error) {
+	return access.CompareRingVsTree(in, seed, ringSize)
+}
+
+// Traffic and economy substrate (§2.2 inputs).
+type (
+	// Geography is a set of population centers.
+	Geography = traffic.Geography
+	// GeographyConfig parameterizes synthetic geography.
+	GeographyConfig = traffic.GeographyConfig
+	// City is one population center.
+	City = traffic.City
+	// DemandMatrix is symmetric city-to-city demand.
+	DemandMatrix = traffic.DemandMatrix
+	// GravityConfig parameterizes the gravity demand model.
+	GravityConfig = traffic.GravityConfig
+)
+
+// GenerateGeography draws a synthetic national geography.
+func GenerateGeography(cfg GeographyConfig) (*Geography, error) {
+	return traffic.GenerateGeography(cfg)
+}
+
+// GravityDemand builds the gravity-model demand matrix.
+func GravityDemand(g *Geography, cfg GravityConfig) DemandMatrix {
+	return traffic.GravityDemand(g, cfg)
+}
+
+// ArrivalPoints draws population-weighted arrival locations from a
+// geography, for use as HOTConfig.Arrivals (§2.1: customers concentrate
+// in the big cities).
+func ArrivalPoints(g *Geography, n int, spread float64, seed int64) []Point {
+	return traffic.ArrivalPoints(g, n, spread, seed)
+}
+
+// ISP design (§2.2).
+type (
+	// ISPConfig parameterizes the single-ISP designer.
+	ISPConfig = isp.Config
+	// ISPDesign is a built ISP.
+	ISPDesign = isp.Design
+	// Formulation selects cost-based vs profit-based design.
+	Formulation = isp.Formulation
+)
+
+// ISP formulations.
+const (
+	CostBased   = isp.CostBased
+	ProfitBased = isp.ProfitBased
+)
+
+// BuildISP designs a single ISP's router-level topology.
+func BuildISP(cfg ISPConfig) (*ISPDesign, error) { return isp.Build(cfg) }
+
+// BackboneReport describes routed load and cable provisioning on the WAN.
+type BackboneReport = isp.BackboneReport
+
+// ProvisionBackbone routes inter-metro gravity demand over a built ISP
+// and installs adequate cable configurations on the backbone links
+// (footnote 1: topology = connectivity + capacity).
+func ProvisionBackbone(des *ISPDesign, geo *Geography, cat Catalog, demandScale float64) (*BackboneReport, error) {
+	return isp.ProvisionBackbone(des, geo, cat, demandScale)
+}
+
+// Internet assembly (§2.3).
+type (
+	// InternetConfig parameterizes multi-ISP assembly.
+	InternetConfig = peering.Config
+	// Internet is the assembled multi-ISP topology.
+	Internet = peering.Internet
+	// PeeringLink is one inter-ISP interconnect.
+	PeeringLink = peering.PeeringLink
+	// TransitConfig parameterizes customer-provider assignment.
+	TransitConfig = peering.TransitConfig
+	// TransitResult is the tiered customer-provider structure.
+	TransitResult = peering.TransitResult
+	// TransitLink is one customer-provider relationship.
+	TransitLink = peering.TransitLink
+)
+
+// AssembleInternet builds the multi-ISP internet model.
+func AssembleInternet(cfg InternetConfig) (*Internet, error) {
+	return peering.Assemble(cfg)
+}
+
+// AssignTransit layers customer-provider relationships (and tiers) onto
+// an assembled internet, extending the AS graph with transit edges.
+func AssignTransit(inet *Internet, cfg TransitConfig) (*TransitResult, error) {
+	return peering.AssignTransit(inet, cfg)
+}
+
+// ValleyFreeResult reports Gao–Rexford policy reachability on an AS
+// relationship graph.
+type ValleyFreeResult = peering.ValleyFreeResult
+
+// ValleyFree computes valley-free (customer/provider/peer policy)
+// reachability and AS path lengths over a transit result.
+func ValleyFree(tr *TransitResult) (*ValleyFreeResult, error) {
+	return peering.ValleyFree(tr)
+}
+
+// Descriptive baseline generators (§1).
+var (
+	// GenErdosRenyiGNP samples G(n,p).
+	GenErdosRenyiGNP = gen.ErdosRenyiGNP
+	// GenErdosRenyiGNM samples G(n,m).
+	GenErdosRenyiGNM = gen.ErdosRenyiGNM
+	// GenWaxman samples the Waxman geographic random graph.
+	GenWaxman = gen.Waxman
+	// GenBarabasiAlbert grows a preferential-attachment graph.
+	GenBarabasiAlbert = gen.BarabasiAlbert
+	// GenGLP grows a generalized-linear-preference graph.
+	GenGLP = gen.GLP
+	// GenTransitStub builds a GT-ITM style hierarchy.
+	GenTransitStub = gen.TransitStub
+	// GenRandomGeometric connects points within a radius.
+	GenRandomGeometric = gen.RandomGeometric
+	// GenConfigurationModel rewires a given degree sequence at random —
+	// the purest descriptive generator.
+	GenConfigurationModel = gen.ConfigurationModel
+	// GenInetLike samples a power-law degree sequence and realizes it,
+	// patching connectivity (the paper's reference [21] pipeline).
+	GenInetLike = gen.InetLike
+)
+
+// TransitStubConfig parameterizes GenTransitStub.
+type TransitStubConfig = gen.TransitStubConfig
+
+// Metrics, statistics, routing, robustness.
+type (
+	// Profile bundles the comparison metrics of one topology.
+	Profile = metrics.Profile
+	// TailClassification is the power-law vs exponential verdict.
+	TailClassification = stats.TailClassification
+	// Demand is one traffic requirement.
+	Demand = routing.Demand
+	// RouteResult reports a routing evaluation.
+	RouteResult = routing.Result
+	// AttackStrategy orders node removals.
+	AttackStrategy = robust.Strategy
+)
+
+// Attack strategies.
+const (
+	RandomFailure        = robust.RandomFailure
+	DegreeAttack         = robust.DegreeAttack
+	BetweennessAttack    = robust.BetweennessAttack
+	AdaptiveDegreeAttack = robust.AdaptiveDegreeAttack
+)
+
+// ComputeProfile evaluates the full [30]-style metric suite.
+func ComputeProfile(g *Graph, seed int64) Profile { return metrics.ComputeProfile(g, seed) }
+
+// ClassifyTail decides power-law vs exponential on a degree sample.
+func ClassifyTail(degrees []int) TailClassification { return stats.ClassifyTail(degrees) }
+
+// RouteShortestPaths routes demands ignoring capacity.
+func RouteShortestPaths(g *Graph, demands []Demand) (*RouteResult, error) {
+	return routing.RouteShortestPaths(g, demands)
+}
+
+// RouteCapacitated routes demands with greedy admission control.
+func RouteCapacitated(g *Graph, demands []Demand) (*RouteResult, error) {
+	return routing.RouteCapacitated(g, demands)
+}
+
+// MaxMinResult is the outcome of fair rate allocation.
+type MaxMinResult = routing.MaxMinResult
+
+// MaxMinFair computes the max-min fair (water-filling) rate allocation
+// of elastic demands over their shortest paths.
+func MaxMinFair(g *Graph, demands []Demand) (*MaxMinResult, error) {
+	return routing.MaxMinFair(g, demands)
+}
+
+// ExactAccessOPT computes the exact optimal buy-at-bulk tree cost for a
+// tiny instance (<= access.MaxExactCustomers customers) by exhaustive
+// Prüfer enumeration — the ground truth the heuristics are validated
+// against.
+func ExactAccessOPT(in *AccessInstance) (float64, []int, error) {
+	return access.ExactTreeOPT(in)
+}
+
+// RobustnessSweep reports the largest-component curve under removals.
+func RobustnessSweep(g *Graph, strat AttackStrategy, fracs []float64, trials int, seed int64) ([]robust.SweepPoint, error) {
+	return robust.Sweep(g, strat, fracs, trials, seed)
+}
+
+// Experiments: the E1–E9 harness used by cmd/experiments and the benches.
+type (
+	// ExperimentOptions tunes experiment scale and seeds.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is one experiment's formatted result.
+	ExperimentTable = experiments.Table
+	// ExperimentRunner is one experiment entry point.
+	ExperimentRunner = experiments.Runner
+)
+
+// Experiments returns all experiment runners E1–E10 in order.
+func Experiments() []ExperimentRunner { return experiments.All() }
+
+// Anonymization (§5 research agenda).
+type (
+	// AnonymizeOptions configure topology scrubbing.
+	AnonymizeOptions = anonymize.Options
+	// TopologySummary is the aggregate, identity-free characterization of
+	// a topology a provider could publish.
+	TopologySummary = anonymize.Summary
+)
+
+// Anonymize returns an identity-scrubbed copy of g; connectivity (and so
+// every structural metric) is preserved exactly.
+func Anonymize(g *Graph, opts AnonymizeOptions) *Graph { return anonymize.Scrub(g, opts) }
+
+// SummarizeTopology computes the publishable aggregate characterization.
+func SummarizeTopology(g *Graph, seed int64) TopologySummary { return anonymize.Summarize(g, seed) }
+
+// Validation (§5 research agenda).
+type (
+	// MetricVector is the standardized topology characterization used
+	// for model validation.
+	MetricVector = validate.MetricVector
+	// TopologyComparison scores a candidate against a reference.
+	TopologyComparison = validate.Comparison
+	// Interval is a bootstrap confidence interval.
+	Interval = validate.Interval
+)
+
+// MeasureTopology computes the validation metric vector.
+func MeasureTopology(g *Graph, seed int64) MetricVector { return validate.Measure(g, seed) }
+
+// CompareTopologies scores how structurally dissimilar two topologies
+// are across the full metric suite (plus degree-distribution KS).
+func CompareTopologies(ref, cand *Graph, seed int64) TopologyComparison {
+	return validate.Compare(ref, cand, seed)
+}
+
+// ResilienceCI bootstraps a confidence interval for the resilience
+// metric, so comparisons can be judged against sampling noise.
+func ResilienceCI(g *Graph, reps int, seed int64) Interval {
+	return validate.ResilienceCI(g, reps, seed)
+}

@@ -1,0 +1,249 @@
+package hotgen
+
+import (
+	"testing"
+)
+
+// The facade tests double as end-to-end integration tests across the
+// whole library: every major subsystem is exercised through the public
+// entry points exactly as the examples use them.
+
+func TestFacadeFKPPipeline(t *testing.T) {
+	g, err := FKP(FKPConfig{N: 400, Alpha: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 400 || !g.IsTree() {
+		t.Fatal("facade FKP broken")
+	}
+	if c := Classify(g); c.String() == "" {
+		t.Fatal("classification missing")
+	}
+	prof := ComputeProfile(g, 1)
+	if prof.Nodes != 400 {
+		t.Fatal("profile nodes mismatch")
+	}
+}
+
+func TestFacadeAccessPipeline(t *testing.T) {
+	in, err := RandomAccessInstance(AccessInstanceConfig{
+		N: 200, Seed: 2, DemandMin: 1, DemandMax: 8, RootAtCenter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := MMPIncremental(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := AccessLowerBound(in)
+	if net.TotalCost() < lb {
+		t.Fatal("cost below lower bound through facade")
+	}
+	star, err := DirectStar(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mst, err := SingleCableMST(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.TotalCost() < lb || mst.TotalCost() < lb {
+		t.Fatal("baseline below lower bound")
+	}
+	if added := AugmentTwoEdgeConnected(in, net); added == 0 {
+		t.Fatal("augmentation added nothing")
+	}
+}
+
+func TestFacadeISPAndInternet(t *testing.T) {
+	geo, err := GenerateGeography(GeographyConfig{
+		NumCities: 12, Seed: 4, ZipfExponent: 1, MinSeparation: 0.04,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := BuildISP(ISPConfig{
+		Geography: geo, NumPOPs: 4, Customers: 150, Seed: 5,
+		PerfWeight: 40, MaxExtraBackboneLinks: 2, DemandMin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !des.Graph.IsConnected() {
+		t.Fatal("ISP not connected")
+	}
+	inet, err := AssembleInternet(InternetConfig{
+		Geography: geo, NumISPs: 4, Seed: 6,
+		POPsPerISP: 4, CustomersPerISP: 40, PeeringSetupCost: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inet.AS.NumNodes() != 4 {
+		t.Fatal("AS graph wrong size")
+	}
+}
+
+func TestFacadeRoutingAndRobustness(t *testing.T) {
+	g, err := GenBarabasiAlbert(300, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Edges() {
+		g.Edge(i).Capacity = 100
+	}
+	res, err := RouteShortestPaths(g, []Demand{{Src: 0, Dst: 299, Volume: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 5 {
+		t.Fatal("demand not delivered")
+	}
+	if _, err := RouteCapacitated(g, []Demand{{Src: 0, Dst: 10, Volume: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RobustnessSweep(g, DegreeAttack, []float64{0.1}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].LCCFrac <= 0 || pts[0].LCCFrac > 1 {
+		t.Fatalf("sweep out of range: %v", pts)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if _, err := GenErdosRenyiGNP(100, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenErdosRenyiGNM(100, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenWaxman(100, 0.1, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenGLP(100, 1, 0.3, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenRandomGeometric(100, 0.15, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenTransitStub(TransitStubConfig{
+		TransitDomains: 2, TransitSize: 3, StubsPerTransit: 1, StubSize: 4, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	runners := Experiments()
+	if len(runners) != 11 {
+		t.Fatalf("got %d experiments, want 11", len(runners))
+	}
+	// Spot check one end to end at tiny scale.
+	tbl, err := runners[0].Run(ExperimentOptions{Seed: 1, Scale: 0.05, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E1" {
+		t.Fatalf("first runner is %s, want E1", tbl.ID)
+	}
+}
+
+func TestFacadeHOTConstraints(t *testing.T) {
+	g, st, err := GrowHOT(HOTConfig{
+		N:    200,
+		Seed: 9,
+		Terms: []ObjectiveTerm{
+			DistanceTerm{Weight: 4},
+			CentralityTerm{Weight: 1},
+			LoadTerm{Weight: 0.1},
+		},
+		Constraints: []Constraint{MaxDegreeConstraint{Max: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 10 && st.ConstraintViolations == 0 {
+		t.Fatal("degree cap violated without fallback accounting")
+	}
+}
+
+func TestFacadeValidationAndAnonymization(t *testing.T) {
+	a, err := GenBarabasiAlbert(200, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenErdosRenyiGNM(200, a.NumEdges(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := CompareTopologies(a, b, 1)
+	if cmp.Distance <= 0 {
+		t.Fatal("BA vs ER should differ")
+	}
+	if CompareTopologies(a, a, 1).Distance > 1e-9 {
+		t.Fatal("self comparison should be ~0")
+	}
+	iv := ResilienceCI(a, 10, 2)
+	if iv.Low > iv.High {
+		t.Fatal("bad interval")
+	}
+	scrubbed := Anonymize(a, AnonymizeOptions{Seed: 3, PermuteIDs: true})
+	if SummarizeTopology(scrubbed, 4).MaxDegree != SummarizeTopology(a, 4).MaxDegree {
+		t.Fatal("anonymization changed structure")
+	}
+	if MeasureTopology(a, 5).MeanDegree <= 0 {
+		t.Fatal("metric vector broken")
+	}
+}
+
+func TestFacadeTransitAndRings(t *testing.T) {
+	geo, err := GenerateGeography(GeographyConfig{NumCities: 12, Seed: 6, ZipfExponent: 1, MinSeparation: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inet, err := AssembleInternet(InternetConfig{
+		Geography: geo, NumISPs: 8, Seed: 7, POPsPerISP: 8,
+		PeeringSetupCost: 1e-7, SizeSkew: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := AssignTransit(inet, TransitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Links) == 0 || tr.ASAll.NumNodes() != 8 {
+		t.Fatalf("transit result malformed: %d links", len(tr.Links))
+	}
+	in, err := RandomAccessInstance(AccessInstanceConfig{N: 60, Seed: 8, DemandMin: 1, RootAtCenter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompareRingVsTree(in, 9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ring2EdgeConn {
+		t.Fatal("ring should be 2-edge-connected")
+	}
+	arr := ArrivalPoints(geo, 30, 0.02, 10)
+	if len(arr) != 30 {
+		t.Fatal("arrival points wrong count")
+	}
+}
+
+func TestFacadeTrafficModel(t *testing.T) {
+	geo, err := GenerateGeography(GeographyConfig{NumCities: 8, Seed: 10, ZipfExponent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := GravityDemand(geo, GravityConfig{Scale: 10, Exponent: 1})
+	if dm.Total() <= 0 {
+		t.Fatal("no demand generated")
+	}
+	if ClassifyTail([]int{1, 1, 2, 2, 3}).Kind.String() == "" {
+		t.Fatal("tail classification broken")
+	}
+}

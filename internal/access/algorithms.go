@@ -1,0 +1,406 @@
+package access
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MMPIncremental solves the instance with the randomized incremental
+// cost-distance heuristic in the spirit of Meyerson–Munagala–Plotkin
+// (paper reference [24]): customers arrive in random order; each arriving
+// customer attaches to the existing network node j minimizing
+//
+//	installFactor * dist(i, j)  +  usage-cost-to-root(j) * demand_i
+//
+// i.e. a tradeoff between building new last-mile cable and riding the
+// accumulated (cheap, bulk) cables toward the root. The first term is the
+// incremental construction cost, the second the marginal routing cost —
+// exactly the cost-distance metric. After the arrival pass, flows are
+// aggregated bottom-up and every edge gets the cheapest adequate cable
+// configuration.
+//
+// The output is a spanning tree of root + customers by construction.
+func MMPIncremental(in *Instance, seed int64) (*Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	g := newNetworkSkeleton(in)
+	n := len(in.Customers)
+
+	// usageToRoot[v] is the per-unit-flow cost of carrying demand from v
+	// to the root along current tree edges, priced at the *cheapest* per
+	// unit usage rate (δ_K) — the incremental algorithm's optimistic
+	// estimate of bulk transport cost once cables are upgraded.
+	deltaBulk := in.Catalog[len(in.Catalog)-1].Usage
+	sigmaThin := in.Catalog[0].Install
+	usageToRoot := make([]float64, n+1)
+	attached := make([]int, 0, n+1)
+	attached = append(attached, 0)
+
+	order := rng.Shuffle(r, n)
+	for _, ci := range order {
+		v := ci + 1 // graph id of customer ci
+		loc := in.Customers[ci].Loc
+		dem := in.Customers[ci].Demand
+		bestJ, bestCost := -1, math.Inf(1)
+		for _, j := range attached {
+			nj := g.Node(j)
+			d := loc.Dist(geom.Point{X: nj.X, Y: nj.Y})
+			cost := sigmaThin*d + (usageToRoot[j]+deltaBulk*d)*dem
+			if cost < bestCost {
+				bestJ, bestCost = j, cost
+			}
+		}
+		nj := g.Node(bestJ)
+		d := loc.Dist(geom.Point{X: nj.X, Y: nj.Y})
+		g.AddEdge(graph.Edge{U: bestJ, V: v, Weight: d, Cable: -1})
+		usageToRoot[v] = usageToRoot[bestJ] + deltaBulk*d
+		attached = append(attached, v)
+	}
+	return finishTree(in, g)
+}
+
+// SampleAndAugment solves the instance with the stage-based randomized
+// sample-and-augment scheme (the constant-factor single-sink buy-at-bulk
+// template): level ℓ keeps each surviving customer independently with
+// probability p, promoted survivors become "hubs" of the next level;
+// every non-survivor attaches to its nearest survivor (or the root).
+// Levels correspond to cable tiers: the deeper the level, the fatter the
+// aggregated flow and the thicker the optimal cable. The top level
+// connects hubs plus the root by a Euclidean MST.
+//
+// Output is a spanning tree of root + customers.
+func SampleAndAugment(in *Instance, seed int64, p float64) (*Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("access: sampling probability %v out of (0,1)", p)
+	}
+	r := rng.New(seed)
+	g := newNetworkSkeleton(in)
+	n := len(in.Customers)
+
+	level := make([]int, n+1) // 0 for customers initially
+	survivors := make([]int, 0, n)
+	for v := 1; v <= n; v++ {
+		survivors = append(survivors, v)
+	}
+	levels := len(in.Catalog)
+	for l := 1; l < levels && len(survivors) > 1; l++ {
+		next := survivors[:0:0]
+		for _, v := range survivors {
+			if r.Float64() < p {
+				next = append(next, v)
+				level[v] = l
+			}
+		}
+		if len(next) == 0 {
+			// Guarantee progress: promote one uniformly at random.
+			keep := survivors[r.Intn(len(survivors))]
+			next = append(next, keep)
+			level[keep] = l
+		}
+		// Attach the non-promoted to their nearest promoted hub (or root,
+		// whichever is closer).
+		pts := make([]geom.Point, len(next))
+		for i, v := range next {
+			nd := g.Node(v)
+			pts[i] = geom.Point{X: nd.X, Y: nd.Y}
+		}
+		tree := geom.NewKDTree(pts)
+		for _, v := range survivors {
+			if level[v] >= l {
+				continue
+			}
+			nd := g.Node(v)
+			loc := geom.Point{X: nd.X, Y: nd.Y}
+			hi, hd := tree.Nearest(loc)
+			target := next[hi]
+			td := hd
+			if rd := loc.Dist(in.Root); rd < td {
+				target, td = 0, rd
+			}
+			g.AddEdge(graph.Edge{U: target, V: v, Weight: td, Cable: -1})
+		}
+		survivors = next
+	}
+	// Top level: MST over survivors + root.
+	xs := make([]float64, len(survivors)+1)
+	ys := make([]float64, len(survivors)+1)
+	ids := make([]int, len(survivors)+1)
+	xs[0], ys[0], ids[0] = in.Root.X, in.Root.Y, 0
+	for i, v := range survivors {
+		nd := g.Node(v)
+		xs[i+1], ys[i+1] = nd.X, nd.Y
+		ids[i+1] = v
+	}
+	for _, pr := range graph.EuclideanMST(xs, ys) {
+		u, v := ids[pr[0]], ids[pr[1]]
+		d := math.Hypot(xs[pr[0]]-xs[pr[1]], ys[pr[0]]-ys[pr[1]])
+		g.AddEdge(graph.Edge{U: u, V: v, Weight: d, Cable: -1})
+	}
+	return finishTree(in, g)
+}
+
+// SingleCableMST is the naive baseline that ignores economies of scale:
+// build the Euclidean MST over root + customers and install only the
+// thinnest cable type (in parallel as needed for capacity).
+func SingleCableMST(in *Instance) (*Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := newNetworkSkeleton(in)
+	n := g.NumNodes()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for v := 0; v < n; v++ {
+		nd := g.Node(v)
+		xs[v], ys[v] = nd.X, nd.Y
+	}
+	for _, pr := range graph.EuclideanMST(xs, ys) {
+		d := math.Hypot(xs[pr[0]]-xs[pr[1]], ys[pr[0]]-ys[pr[1]])
+		g.AddEdge(graph.Edge{U: pr[0], V: pr[1], Weight: d, Cable: -1})
+	}
+	if !g.IsTree() {
+		return nil, fmt.Errorf("access: MST construction failed")
+	}
+	// Cost with only cable type 0.
+	thinOnly := Catalog{in.Catalog[0]}
+	tmp := &Instance{Root: in.Root, Customers: in.Customers, Catalog: thinOnly}
+	return finishTree(tmp, g)
+}
+
+// DirectStar is the opposite baseline: a dedicated straight cable from
+// every customer to the root (no sharing), each with its cheapest
+// adequate configuration.
+func DirectStar(in *Instance) (*Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := newNetworkSkeleton(in)
+	for i, c := range in.Customers {
+		g.AddEdge(graph.Edge{U: 0, V: i + 1, Weight: c.Loc.Dist(in.Root), Cable: -1})
+	}
+	return finishTree(in, g)
+}
+
+// GreedyConcentrator is the classic local-access heuristic (paper
+// references [6,18]): place k concentrators by weighted k-means over
+// customer locations, home each customer onto its nearest concentrator,
+// and connect concentrators to the root by an MST. Concentrator nodes are
+// appended to the graph after the customers.
+func GreedyConcentrator(in *Instance, k int, seed int64) (*Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Customers)
+	if k < 1 {
+		return nil, fmt.Errorf("access: need k >= 1 concentrators")
+	}
+	if k > n {
+		k = n
+	}
+	centers := KMeans(customerPoints(in), customerWeights(in), k, seed, 30)
+	g := newNetworkSkeleton(in)
+	concIDs := make([]int, k)
+	for i, c := range centers {
+		concIDs[i] = g.AddNode(graph.Node{Kind: graph.KindConc, X: c.X, Y: c.Y})
+	}
+	tree := geom.NewKDTree(centers)
+	for i, c := range in.Customers {
+		hi, hd := tree.Nearest(c.Loc)
+		g.AddEdge(graph.Edge{U: concIDs[hi], V: i + 1, Weight: hd, Cable: -1})
+	}
+	// Root + concentrators MST.
+	xs := make([]float64, k+1)
+	ys := make([]float64, k+1)
+	ids := make([]int, k+1)
+	xs[0], ys[0], ids[0] = in.Root.X, in.Root.Y, 0
+	for i, c := range centers {
+		xs[i+1], ys[i+1], ids[i+1] = c.X, c.Y, concIDs[i]
+	}
+	for _, pr := range graph.EuclideanMST(xs, ys) {
+		d := math.Hypot(xs[pr[0]]-xs[pr[1]], ys[pr[0]]-ys[pr[1]])
+		g.AddEdge(graph.Edge{U: ids[pr[0]], V: ids[pr[1]], Weight: d, Cable: -1})
+	}
+	return finishTree(in, g)
+}
+
+// KMeans is weighted Lloyd's algorithm over points with the given
+// weights; it returns k centers. Deterministic given the seed. Exposed
+// for the ISP designer's POP placement.
+func KMeans(pts []geom.Point, weights []float64, k int, seed int64, iters int) []geom.Point {
+	if len(pts) == 0 || k < 1 {
+		return nil
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	r := rng.New(seed)
+	// k-means++ style seeding: first uniform, rest distance-weighted.
+	centers := make([]geom.Point, 0, k)
+	centers = append(centers, pts[r.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := p.Dist2(c); d < best {
+					best = d
+				}
+			}
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			d2[i] = best * w
+			total += d2[i]
+		}
+		if total == 0 {
+			centers = append(centers, pts[r.Intn(len(pts))])
+			continue
+		}
+		u := r.Float64() * total
+		acc := 0.0
+		pick := len(pts) - 1
+		for i, d := range d2 {
+			acc += d
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+	assign := make([]int, len(pts))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centers {
+				if d := p.Dist2(c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		var sx, sy, sw []float64
+		sx = make([]float64, k)
+		sy = make([]float64, k)
+		sw = make([]float64, k)
+		for i, p := range pts {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			sx[assign[i]] += p.X * w
+			sy[assign[i]] += p.Y * w
+			sw[assign[i]] += w
+		}
+		for ci := range centers {
+			if sw[ci] > 0 {
+				centers[ci] = geom.Point{X: sx[ci] / sw[ci], Y: sy[ci] / sw[ci]}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return centers
+}
+
+func customerPoints(in *Instance) []geom.Point {
+	pts := make([]geom.Point, len(in.Customers))
+	for i, c := range in.Customers {
+		pts[i] = c.Loc
+	}
+	return pts
+}
+
+func customerWeights(in *Instance) []float64 {
+	ws := make([]float64, len(in.Customers))
+	for i, c := range in.Customers {
+		ws[i] = c.Demand
+	}
+	return ws
+}
+
+// AugmentTwoEdgeConnected adds straight-line edges to a solved tree
+// network so it becomes 2-edge-connected — the paper's footnote 7: "adding
+// a path redundancy requirement breaks the tree structure of the optimal
+// solution." Leaves are paired in DFS order (the classical tree
+// augmentation that 2-edge-connects a tree with ⌈L/2⌉ edges), then any
+// remaining bridges are covered greedily. Flows and cable assignments of
+// existing edges are kept; each new edge gets the thinnest cable. It
+// returns the number of edges added.
+func AugmentTwoEdgeConnected(in *Instance, net *Network) int {
+	g := net.Graph
+	if g.NumNodes() < 3 {
+		return 0
+	}
+	added := 0
+	addEdge := func(u, v int) {
+		nu, nv := g.Node(u), g.Node(v)
+		d := geom.Point{X: nu.X, Y: nu.Y}.Dist(geom.Point{X: nv.X, Y: nv.Y})
+		g.AddEdge(graph.Edge{U: u, V: v, Weight: d, Cable: 0})
+		net.Flow = append(net.Flow, 0)
+		net.CableKind = append(net.CableKind, 0)
+		net.CableCount = append(net.CableCount, 1)
+		net.InstallCost += in.Catalog[0].Install * d
+		added++
+	}
+	// DFS-order the leaves.
+	var leaves []int
+	visited := make([]bool, g.NumNodes())
+	stack := []int{0}
+	visited[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.Degree(u) == 1 && u != 0 {
+			leaves = append(leaves, u)
+		}
+		var next []int
+		g.Neighbors(u, func(v, _ int) {
+			if !visited[v] {
+				visited[v] = true
+				next = append(next, v)
+			}
+		})
+		sort.Ints(next)
+		stack = append(stack, next...)
+	}
+	half := len(leaves) / 2
+	for i := 0; i < half; i++ {
+		addEdge(leaves[i], leaves[i+half])
+	}
+	if len(leaves)%2 == 1 && len(leaves) > 0 {
+		addEdge(leaves[len(leaves)-1], 0)
+	}
+	// Cover remaining bridges: connect one endpoint's subtree leaf-most
+	// node back to the root until bridge-free.
+	for guard := 0; guard < g.NumNodes(); guard++ {
+		bridges := g.BridgeEdges()
+		if len(bridges) == 0 {
+			break
+		}
+		e := g.Edge(bridges[0])
+		far := e.V
+		if far == 0 {
+			far = e.U
+		}
+		addEdge(far, 0)
+	}
+	return added
+}

@@ -1,0 +1,86 @@
+package access
+
+import (
+	"testing"
+)
+
+func TestRingMetroIsTwoEdgeConnected(t *testing.T) {
+	in := testInstance(t, 200, 21)
+	net, err := RingMetro(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.IsTree() {
+		t.Fatal("ring design should not be a tree")
+	}
+	if !net.Graph.IsTwoEdgeConnected() {
+		t.Fatal("ring design must be 2-edge-connected")
+	}
+	if net.Graph.NumNodes() != 201 {
+		t.Fatalf("nodes = %d", net.Graph.NumNodes())
+	}
+}
+
+func TestRingMetroEdgeCount(t *testing.T) {
+	// n customers in rings of size r: each full ring of r members has
+	// r+1 edges. With n=20, r=5: 4 rings x 6 edges = 24.
+	in := testInstance(t, 20, 22)
+	net, err := RingMetro(in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.NumEdges() != 24 {
+		t.Fatalf("edges = %d, want 24", net.Graph.NumEdges())
+	}
+}
+
+func TestRingMetroCapacityCoversRingDemand(t *testing.T) {
+	in := testInstance(t, 100, 23)
+	net, err := RingMetro(in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for eid := range net.Flow {
+		cap := float64(net.CableCount[eid]) * in.Catalog[net.CableKind[eid]].Capacity
+		if net.Flow[eid] > cap+1e-9 {
+			t.Fatalf("edge %d: ring demand %v exceeds capacity %v", eid, net.Flow[eid], cap)
+		}
+	}
+}
+
+func TestRingMetroBadRingSize(t *testing.T) {
+	in := testInstance(t, 10, 24)
+	if _, err := RingMetro(in, 1); err == nil {
+		t.Fatal("ring size 1 should error")
+	}
+}
+
+func TestRingCostsMoreThanTree(t *testing.T) {
+	// Protection capacity is not free: the ring premium must be positive.
+	in := testInstance(t, 300, 25)
+	rep, err := CompareRingVsTree(in, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostPremium <= 0 {
+		t.Fatalf("ring premium = %v, want > 0", rep.CostPremium)
+	}
+	if !rep.TreeIsTree || !rep.Ring2EdgeConn {
+		t.Fatalf("shape flags wrong: %+v", rep)
+	}
+}
+
+func TestRingMetroSingleCustomer(t *testing.T) {
+	in := testInstance(t, 1, 26)
+	net, err := RingMetro(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate ring: root->c->root is a protected dual link.
+	if net.Graph.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (dual link)", net.Graph.NumEdges())
+	}
+	if !net.Graph.IsTwoEdgeConnected() {
+		t.Fatal("dual link should be 2-edge-connected")
+	}
+}

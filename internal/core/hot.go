@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// GrowthState is the read-only view of the network an objective term or
+// constraint sees when a new node arrives.
+type GrowthState struct {
+	Graph *graph.Graph
+	// Hops holds tree hop distance to the root for every existing node.
+	Hops []float64
+	// Root is the root's location.
+	Root geom.Point
+	// Arrival is the index the new node will receive.
+	Arrival int
+}
+
+// ObjectiveTerm contributes one weighted component of the attachment cost
+// for connecting the arriving point to candidate node j. Lower is better.
+type ObjectiveTerm interface {
+	// Cost evaluates the term for attaching `p` to candidate `j`.
+	Cost(s *GrowthState, p geom.Point, j int) float64
+	// Name identifies the term in reports.
+	Name() string
+}
+
+// Constraint filters attachment candidates; infeasible candidates are
+// never selected.
+type Constraint interface {
+	// Feasible reports whether the arriving point may attach to j.
+	Feasible(s *GrowthState, p geom.Point, j int) bool
+	// Name identifies the constraint in reports.
+	Name() string
+}
+
+// DistanceTerm is the last-mile cost: Weight * Euclidean distance.
+// It models per-mile cable installation cost (the paper's §2.1 economic
+// driver).
+type DistanceTerm struct{ Weight float64 }
+
+// Cost implements ObjectiveTerm.
+func (t DistanceTerm) Cost(s *GrowthState, p geom.Point, j int) float64 {
+	nj := s.Graph.Node(j)
+	return t.Weight * p.Dist(geom.Point{X: nj.X, Y: nj.Y})
+}
+
+// Name implements ObjectiveTerm.
+func (t DistanceTerm) Name() string { return "distance" }
+
+// CentralityTerm is the performance cost: Weight * hop distance from the
+// candidate to the root, penalizing attachment far from the network core
+// (the paper's performance driver).
+type CentralityTerm struct{ Weight float64 }
+
+// Cost implements ObjectiveTerm.
+func (t CentralityTerm) Cost(s *GrowthState, _ geom.Point, j int) float64 {
+	return t.Weight * s.Hops[j]
+}
+
+// Name implements ObjectiveTerm.
+func (t CentralityTerm) Name() string { return "centrality" }
+
+// LoadTerm penalizes attaching to already-busy nodes: Weight * degree(j).
+// It models congestion / router utilization cost and acts as a soft port
+// constraint.
+type LoadTerm struct{ Weight float64 }
+
+// Cost implements ObjectiveTerm.
+func (t LoadTerm) Cost(s *GrowthState, _ geom.Point, j int) float64 {
+	return t.Weight * float64(s.Graph.Degree(j))
+}
+
+// Name implements ObjectiveTerm.
+func (t LoadTerm) Name() string { return "load" }
+
+// RootDistTerm penalizes candidates geographically far from the root,
+// a geometric centrality alternative.
+type RootDistTerm struct{ Weight float64 }
+
+// Cost implements ObjectiveTerm.
+func (t RootDistTerm) Cost(s *GrowthState, _ geom.Point, j int) float64 {
+	nj := s.Graph.Node(j)
+	return t.Weight * geom.Point{X: nj.X, Y: nj.Y}.Dist(s.Root)
+}
+
+// Name implements ObjectiveTerm.
+func (t RootDistTerm) Name() string { return "root-dist" }
+
+// MaxDegreeConstraint is the hard router port limit the paper's §2.1
+// names as the canonical technology constraint.
+type MaxDegreeConstraint struct{ Max int }
+
+// Feasible implements Constraint.
+func (c MaxDegreeConstraint) Feasible(s *GrowthState, _ geom.Point, j int) bool {
+	return s.Graph.Degree(j) < c.Max
+}
+
+// Name implements Constraint.
+func (c MaxDegreeConstraint) Name() string { return fmt.Sprintf("max-degree(%d)", c.Max) }
+
+// MaxLengthConstraint forbids links longer than Max (models reach limits
+// of the underlying Level-2 technology, §2.1/§2.4).
+type MaxLengthConstraint struct{ Max float64 }
+
+// Feasible implements Constraint.
+func (c MaxLengthConstraint) Feasible(s *GrowthState, p geom.Point, j int) bool {
+	nj := s.Graph.Node(j)
+	return p.Dist(geom.Point{X: nj.X, Y: nj.Y}) <= c.Max
+}
+
+// Name implements Constraint.
+func (c MaxLengthConstraint) Name() string { return fmt.Sprintf("max-length(%g)", c.Max) }
+
+// HOTConfig parameterizes the generalized optimization-driven growth.
+type HOTConfig struct {
+	N           int
+	Seed        int64
+	Region      geom.Rect // zero value = unit square
+	Terms       []ObjectiveTerm
+	Constraints []Constraint
+	// LinksPerArrival is how many (distinct, feasible) attachment targets
+	// each arriving node connects to; 1 grows a tree, 2+ grows a
+	// redundantly-connected graph. Arrivals connect to as many as exist.
+	LinksPerArrival int
+	// Arrivals optionally fixes the arrival locations (paper §2.1:
+	// customers are not uniform — they concentrate in the big cities).
+	// When non-nil it must hold at least N-1 points; arrival i uses
+	// Arrivals[i-1] and Region is ignored for placement.
+	Arrivals []geom.Point
+}
+
+// Validate reports a configuration error, or nil.
+func (c *HOTConfig) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: HOT N = %d, need >= 1", c.N)
+	}
+	if len(c.Terms) == 0 {
+		return fmt.Errorf("core: HOT needs at least one objective term")
+	}
+	if c.LinksPerArrival < 0 {
+		return fmt.Errorf("core: LinksPerArrival = %d, need >= 0", c.LinksPerArrival)
+	}
+	if c.Arrivals != nil && len(c.Arrivals) < c.N-1 {
+		return fmt.Errorf("core: Arrivals holds %d points, need >= N-1 = %d", len(c.Arrivals), c.N-1)
+	}
+	return nil
+}
+
+// GrowHOT runs the generalized incremental optimization growth: each
+// arriving node attaches to the LinksPerArrival feasible existing nodes
+// with the lowest total objective cost. With LinksPerArrival == 1 and
+// Terms = {DistanceTerm{alpha}, CentralityTerm{1}} this reduces exactly
+// to the FKP model.
+//
+// If no candidate is feasible for an arrival, the constraint set is
+// ignored for that arrival and the best unconstrained candidate is used;
+// Stats.ConstraintViolations counts such arrivals. (A real ISP must
+// connect the customer somehow — it deploys a bigger router.)
+func GrowHOT(cfg HOTConfig) (*graph.Graph, *GrowthStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	region := cfg.Region
+	if region == (geom.Rect{}) {
+		region = geom.UnitSquare
+	}
+	links := cfg.LinksPerArrival
+	if links == 0 {
+		links = 1
+	}
+	r := rng.New(cfg.Seed)
+	g := graph.New(cfg.N)
+	rootPt := region.Center()
+	g.AddNode(graph.Node{Kind: graph.KindCore, X: rootPt.X, Y: rootPt.Y})
+
+	st := &GrowthState{
+		Graph: g,
+		Hops:  make([]float64, 1, cfg.N),
+		Root:  rootPt,
+	}
+	stats := &GrowthStats{TermNames: termNames(cfg.Terms)}
+
+	type cand struct {
+		j    int
+		cost float64
+	}
+	for i := 1; i < cfg.N; i++ {
+		var p geom.Point
+		if cfg.Arrivals != nil {
+			p = cfg.Arrivals[i-1]
+		} else {
+			p = region.RandomPoint(r)
+		}
+		st.Arrival = i
+		best := make([]cand, 0, links)
+		worst := -1 // index in best of the worst entry
+		consider := func(j int, feasible bool) {
+			_ = feasible
+			cost := 0.0
+			for _, t := range cfg.Terms {
+				cost += t.Cost(st, p, j)
+			}
+			if len(best) < links {
+				best = append(best, cand{j, cost})
+				if worst == -1 || cost > best[worst].cost {
+					worst = len(best) - 1
+				}
+				return
+			}
+			if cost < best[worst].cost {
+				best[worst] = cand{j, cost}
+				worst = 0
+				for k := range best {
+					if best[k].cost > best[worst].cost {
+						worst = k
+					}
+				}
+			}
+		}
+		for j := 0; j < i; j++ {
+			ok := true
+			for _, c := range cfg.Constraints {
+				if !c.Feasible(st, p, j) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				consider(j, true)
+			}
+		}
+		if len(best) == 0 {
+			stats.ConstraintViolations++
+			for j := 0; j < i; j++ {
+				consider(j, false)
+			}
+		}
+		id := g.AddNode(graph.Node{Kind: graph.KindCustomer, X: p.X, Y: p.Y})
+		minHops := 0.0
+		for k, c := range best {
+			nj := g.Node(c.j)
+			w := p.Dist(geom.Point{X: nj.X, Y: nj.Y})
+			g.AddEdge(graph.Edge{U: c.j, V: id, Weight: w})
+			stats.TotalLinkLength += w
+			h := st.Hops[c.j] + 1
+			if k == 0 || h < minHops {
+				minHops = h
+			}
+		}
+		st.Hops = append(st.Hops, minHops)
+	}
+	return g, stats, nil
+}
+
+// GrowthStats reports aggregate facts about a GrowHOT run.
+type GrowthStats struct {
+	TermNames            []string
+	TotalLinkLength      float64
+	ConstraintViolations int
+}
+
+func termNames(terms []ObjectiveTerm) []string {
+	out := make([]string, len(terms))
+	for i, t := range terms {
+		out[i] = t.Name()
+	}
+	return out
+}

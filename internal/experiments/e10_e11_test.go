@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestE10RingBreaksTreeAndSurvives(t *testing.T) {
+	tbl, err := E10Level2Rings(Options{Seed: 6, Scale: 0.2, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, ring := tbl.Rows[0], tbl.Rows[1]
+	if tree[1] != "2/2" {
+		t.Fatalf("tree row not all trees: %v", tree)
+	}
+	if ring[2] != "2/2" {
+		t.Fatalf("ring row not all 2-edge-connected: %v", ring)
+	}
+	// Ring premium must be positive.
+	prem, err := strconv.ParseFloat(ring[4], 64)
+	if err != nil {
+		t.Fatalf("bad premium cell %q", ring[4])
+	}
+	if prem <= 0 {
+		t.Fatalf("ring premium %v should be positive", prem)
+	}
+	// Ring survives random failure better than the tree.
+	treeLCC, _ := strconv.ParseFloat(tree[6], 64)
+	ringLCC, _ := strconv.ParseFloat(ring[6], 64)
+	if ringLCC <= treeLCC {
+		t.Fatalf("ring LCC %v should beat tree %v under failures", ringLCC, treeLCC)
+	}
+}
+
+func TestE11PlacementCapturesDemand(t *testing.T) {
+	tbl, err := E11Performance(Options{Seed: 7, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("E11 rows = %d, want 4", len(tbl.Rows))
+	}
+	// Row 0/1: top-cities; row 2/3: random. Captured demand must be
+	// higher for top-cities.
+	top, err := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := strconv.ParseFloat(tbl.Rows[2][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top <= rnd {
+		t.Fatalf("top-cities captured %v, random %v — placement should matter", top, rnd)
+	}
+	// Perf backbone should not route longer than cost tree on the same
+	// placement.
+	perfPath, _ := strconv.ParseFloat(tbl.Rows[0][6], 64)
+	treePath, _ := strconv.ParseFloat(tbl.Rows[1][6], 64)
+	if perfPath > treePath+1e-9 {
+		t.Fatalf("perf backbone path %v longer than cost tree %v", perfPath, treePath)
+	}
+}
+
+func TestE6TransitSection(t *testing.T) {
+	tbl, err := E6Peering(Options{Seed: 8, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTransit := false
+	for _, row := range tbl.Rows {
+		if row[0] == "transit links" {
+			foundTransit = true
+			n, err := strconv.Atoi(row[1])
+			if err != nil || n <= 0 {
+				t.Fatalf("transit links cell %q", row[1])
+			}
+		}
+	}
+	if !foundTransit {
+		t.Fatal("E6 missing the transit section")
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// E2BuyAtBulk regenerates the §4.2 headline result: the randomized
+// buy-at-bulk approximation "yields tree topologies with exponential node
+// degree distributions".
+func E2BuyAtBulk(opts Options) (*Table, error) {
+	n := opts.scale(1200)
+	reps := opts.reps(8)
+	t := &Table{
+		ID:    "E2",
+		Title: fmt.Sprintf("Buy-at-bulk access design, %d customers, %d seeds", n, reps),
+		Claim: "\"the approximation method in [24] yields tree topologies with exponential node degree distributions\" (§4.2)",
+		Header: []string{
+			"algorithm", "trees", "tail=exp", "tail=pl", "maxDeg(avg)",
+			"lambda(avg)", "KSexp(avg)", "leafFrac(avg)",
+		},
+	}
+	type algo struct {
+		name string
+		run  func(in *access.Instance, seed int64) (*access.Network, error)
+	}
+	algos := []algo{
+		{"mmp-incremental", access.MMPIncremental},
+		{"sample-augment(p=.25)", func(in *access.Instance, seed int64) (*access.Network, error) {
+			return access.SampleAndAugment(in, seed, 0.25)
+		}},
+	}
+	for _, a := range algos {
+		trees, expTail, plTail := 0, 0, 0
+		var maxDeg, lambda, ks, leafFrac float64
+		for rep := 0; rep < reps; rep++ {
+			in, err := access.RandomInstance(access.InstanceConfig{
+				N: n, Seed: rng.Derive(opts.Seed, rep),
+				DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			net, err := a.run(in, rng.Derive(opts.Seed, 100+rep))
+			if err != nil {
+				return nil, err
+			}
+			if net.Graph.IsTree() {
+				trees++
+			}
+			ds := stats.AnalyzeDegrees(net.Graph)
+			switch ds.Classification.Kind {
+			case stats.TailExponential:
+				expTail++
+			case stats.TailPowerLaw:
+				plTail++
+			}
+			maxDeg += float64(ds.MaxDegree)
+			fit := stats.FitExponential(net.Graph.Degrees(), 1)
+			lambda += fit.Lambda
+			ks += fit.KS
+			leafFrac += float64(len(net.Graph.Leaves())) / float64(net.Graph.NumNodes())
+		}
+		rf := float64(reps)
+		t.AddRow(a.name,
+			fmt.Sprintf("%d/%d", trees, reps),
+			fmt.Sprintf("%d/%d", expTail, reps),
+			fmt.Sprintf("%d/%d", plTail, reps),
+			f2(maxDeg/rf), f3(lambda/rf), f3(ks/rf), f3(leafFrac/rf))
+	}
+	t.Notes = append(t.Notes,
+		"tail classified by symmetric KS comparison: discrete power-law vs geometric fits, each at its own KS-optimal xmin",
+		"the paper reports the same qualitative outcome: trees, exponential degrees, consistent with FKP's large-alpha regime")
+	return t, nil
+}
+
+// E3CostRatios regenerates the §4.1 economics: with economies of scale,
+// the buy-at-bulk heuristics beat both naive extremes, and stay within a
+// constant factor of the lower bound ("constant factor bound on the
+// quality of the solution independent of problem size").
+func E3CostRatios(opts Options) (*Table, error) {
+	reps := opts.reps(5)
+	t := &Table{
+		ID:    "E3",
+		Title: fmt.Sprintf("Cost vs lower bound across instance sizes, %d seeds each", reps),
+		Claim: "buy-at-bulk economies of scale reward aggregation; the randomized algorithm has a constant-factor guarantee independent of size (§4.1)",
+		Header: []string{
+			"customers", "mmp/LB", "sa/LB", "mst1/LB", "star/LB", "mmp<min(base)",
+		},
+	}
+	sizes := []int{opts.scale(200), opts.scale(500), opts.scale(1000), opts.scale(2000)}
+	for _, n := range sizes {
+		var rMMP, rSA, rMST, rStar float64
+		wins := 0
+		for rep := 0; rep < reps; rep++ {
+			in, err := access.RandomInstance(access.InstanceConfig{
+				N: n, Seed: rng.Derive(opts.Seed, n*31+rep),
+				DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lb := access.LowerBound(in)
+			mmp, err := access.MMPIncremental(in, rng.Derive(opts.Seed, rep))
+			if err != nil {
+				return nil, err
+			}
+			sa, err := access.SampleAndAugment(in, rng.Derive(opts.Seed, rep+50), 0.25)
+			if err != nil {
+				return nil, err
+			}
+			mst, err := access.SingleCableMST(in)
+			if err != nil {
+				return nil, err
+			}
+			star, err := access.DirectStar(in)
+			if err != nil {
+				return nil, err
+			}
+			rMMP += mmp.TotalCost() / lb
+			rSA += sa.TotalCost() / lb
+			rMST += mst.TotalCost() / lb
+			rStar += star.TotalCost() / lb
+			if mmp.TotalCost() < mst.TotalCost() && mmp.TotalCost() < star.TotalCost() {
+				wins++
+			}
+		}
+		rf := float64(reps)
+		t.AddRow(d(n), f2(rMMP/rf), f2(rSA/rf), f2(rMST/rf), f2(rStar/rf),
+			fmt.Sprintf("%d/%d", wins, reps))
+	}
+	// Ablation: sample-and-augment stage sampling probability.
+	n := opts.scale(800)
+	in, err := access.RandomInstance(access.InstanceConfig{
+		N: n, Seed: opts.Seed, DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lb := access.LowerBound(in)
+	for _, p := range []float64{0.1, 0.25, 0.5} {
+		net, err := access.SampleAndAugment(in, opts.Seed, p)
+		if err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"ablation sample-and-augment p=%.2f @ n=%d: cost/LB=%.2f", p, n, net.TotalCost()/lb))
+	}
+	return t, nil
+}

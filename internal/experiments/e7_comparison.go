@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// E7GeneratorComparison regenerates the paper's §1 critique of
+// descriptive modeling: "any particular choice tends to yield a generated
+// topology that matches observations on the chosen metrics but looks very
+// dissimilar on others." We generate a HOT topology, then degree-based
+// and structural baselines matched on node/edge count, and compare the
+// [30]-style metric suite.
+func E7GeneratorComparison(opts Options) (*Table, error) {
+	n := opts.scale(1000)
+	t := &Table{
+		ID:    "E7",
+		Title: fmt.Sprintf("HOT vs descriptive generators, n=%d (edges matched where possible)", n),
+		Claim: "matching the degree distribution does not match structure: degree-based generators diverge from the optimization-driven topology on expansion, resilience, distortion, and hierarchy (§1, ref [30])",
+		Header: []string{
+			"generator", "edges", "maxDeg", "tail", "clustering",
+			"expansion@3", "resilience", "distortion", "hierDepth", "specGap",
+		},
+	}
+	// HOT reference: FKP in the power-law regime, 2 links per arrival so
+	// edge counts are comparable with m=2 degree-based models.
+	hot, _, err := core.GrowHOT(core.HOTConfig{
+		N:               n,
+		Seed:            opts.Seed,
+		Terms:           []core.ObjectiveTerm{core.DistanceTerm{Weight: 8}, core.CentralityTerm{Weight: 1}},
+		LinksPerArrival: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := hot.NumEdges()
+
+	type entry struct {
+		name string
+		g    *graph.Graph
+	}
+	entries := []entry{{"hot(fkp,m=2)", hot}}
+
+	if ba, err := gen.BarabasiAlbert(n, 2, opts.Seed); err == nil {
+		entries = append(entries, entry{"ba(m=2)", ba})
+	} else {
+		return nil, err
+	}
+	if glp, err := gen.GLP(n, 2, 0.3, 0.6, opts.Seed); err == nil {
+		entries = append(entries, entry{"glp", glp})
+	} else {
+		return nil, err
+	}
+	if er, err := gen.ErdosRenyiGNM(n, m, opts.Seed); err == nil {
+		entries = append(entries, entry{"er(gnm)", er})
+	} else {
+		return nil, err
+	}
+	if wax, err := gen.Waxman(n, 0.04, 0.35, opts.Seed); err == nil {
+		entries = append(entries, entry{"waxman", wax})
+	} else {
+		return nil, err
+	}
+	// The sharpest descriptive generator: the HOT topology's own degree
+	// sequence re-wired at random (configuration model).
+	if cm, _, err := gen.ConfigurationModel(hot.Degrees(), opts.Seed); err == nil {
+		entries = append(entries, entry{"config(hot degs)", cm})
+	} else {
+		return nil, err
+	}
+	ts, err := gen.TransitStub(gen.TransitStubConfig{
+		TransitDomains:  4,
+		TransitSize:     4,
+		StubsPerTransit: 3,
+		StubSize:        max(1, (n-16)/48),
+		EdgeProb:        0.3,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, entry{"transit-stub", ts})
+
+	for _, e := range entries {
+		prof := metrics.ComputeProfile(e.g, opts.Seed)
+		tail := stats.ClassifyTail(e.g.Degrees())
+		t.AddRow(e.name, d(prof.Edges), d(prof.MaxDegree), tail.Kind.String(),
+			f3(stats.ClusteringCoefficient(e.g)),
+			f3(prof.ExpansionAt3), f3(prof.Resilience),
+			f2(prof.Distortion), f2(prof.HierarchyDepth), f3(prof.SpectralGap))
+	}
+	t.Notes = append(t.Notes,
+		"BA matches the HOT degree tail (both heavy) yet differs sharply on expansion/distortion/hierarchy — the paper's core argument against purely descriptive generators",
+		"transit-stub imposes hierarchy explicitly but misses the degree tail — the opposite mismatch")
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+// Package experiments contains one runner per experiment E1–E9 from
+// DESIGN.md. Each runner regenerates one quantitative claim of the paper
+// and returns a formatted table; cmd/experiments prints them and
+// EXPERIMENTS.md records representative output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options tune experiment scale. Scale 1.0 is the published size; tests
+// use smaller scales for speed.
+type Options struct {
+	Seed  int64
+	Scale float64 // 0 < Scale <= 1; 0 defaults to 1
+	Reps  int     // Monte Carlo replications; 0 defaults per experiment
+}
+
+func (o Options) scale(n int) int {
+	s := o.Scale
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+func (o Options) reps(def int) int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	return def
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper claim being regenerated
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "Claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Options) (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "FKP alpha sweep (paper §3.1)", E1FKPSweep},
+		{"E2", "Buy-at-bulk access design output shape (paper §4.2)", E2BuyAtBulk},
+		{"E3", "Economies of scale / cost ratios (paper §4.1)", E3CostRatios},
+		{"E4", "Cost-based vs profit-based formulation (paper §2.2)", E4CostVsProfit},
+		{"E5", "National ISP hierarchy (paper §2.2)", E5NationalISP},
+		{"E6", "Peering and the AS graph (paper §2.3)", E6Peering},
+		{"E7", "Descriptive vs explanatory generators (paper §1)", E7GeneratorComparison},
+		{"E8", "Robust yet fragile (paper §3.1)", E8Robustness},
+		{"E9", "Path redundancy breaks trees (paper §4, footnote 7)", E9Redundancy},
+		{"E10", "Level-2 technology ablation (paper §2.4)", E10Level2Rings},
+		{"E11", "Designed vs blind performance (paper §3.1)", E11Performance},
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

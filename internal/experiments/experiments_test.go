@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOpts runs experiments at reduced scale so the integration suite
+// stays fast while exercising every code path end to end.
+func tinyOpts() Options {
+	return Options{Seed: 42, Scale: 0.1, Reps: 2}
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run(tinyOpts())
+			if err != nil {
+				t.Fatalf("%s failed: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Fatalf("table ID %q != runner ID %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			if tbl.Claim == "" {
+				t.Fatalf("%s has no paper claim recorded", r.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("%s row %d has %d cells, header has %d",
+						r.ID, i, len(row), len(tbl.Header))
+				}
+			}
+			out := tbl.Format()
+			if !strings.Contains(out, r.ID) || !strings.Contains(out, "Claim:") {
+				t.Fatalf("%s Format() missing sections:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestAllRunnersHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 experiments, found %d", len(seen))
+	}
+}
+
+func TestE1StarRegimeAtTinyAlpha(t *testing.T) {
+	tbl, err := E1FKPSweep(Options{Seed: 1, Scale: 0.2, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row is alpha=0.3: must classify as star.
+	if !strings.Contains(tbl.Rows[0][2], "star") {
+		t.Fatalf("E1 alpha=0.3 row not a star: %v", tbl.Rows[0])
+	}
+	// Last row (alpha = 4n): trees everywhere.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[7] != "true" {
+		t.Fatalf("E1 large-alpha row not all trees: %v", last)
+	}
+}
+
+func TestE2TreesAlways(t *testing.T) {
+	tbl, err := E2BuyAtBulk(Options{Seed: 2, Scale: 0.25, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "3/3" {
+			t.Fatalf("E2 algorithm %s produced non-trees: %v", row[0], row)
+		}
+	}
+}
+
+func TestE3MMPWinsAtScale(t *testing.T) {
+	tbl, err := E3CostRatios(Options{Seed: 3, Scale: 0.3, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the largest instance size row, MMP should beat both baselines in
+	// every seed.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.HasPrefix(last[5], "2/2") {
+		t.Fatalf("E3 MMP did not dominate baselines at scale: %v", last)
+	}
+}
+
+func TestE4ProfitMonotone(t *testing.T) {
+	tbl, err := E4CostVsProfit(Options{Seed: 4, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 1.. are profit-based with increasing price; served counts must
+	// be non-decreasing.
+	prev := -1
+	for _, row := range tbl.Rows[1:] {
+		served, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad served cell %q", row[2])
+		}
+		if served < prev {
+			t.Fatalf("E4 served not monotone in price: %v", tbl.Rows)
+		}
+		prev = served
+	}
+}
+
+func TestE9BreaksTrees(t *testing.T) {
+	tbl, err := E9Redundancy(Options{Seed: 5, Scale: 0.2, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := tbl.Rows[0], tbl.Rows[1]
+	if before[1] != "2/2" {
+		t.Fatalf("E9 pre-stage not all trees: %v", before)
+	}
+	if after[2] != "2/2" {
+		t.Fatalf("E9 post-stage not all 2-edge-connected: %v", after)
+	}
+}

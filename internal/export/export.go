@@ -1,0 +1,191 @@
+// Package export serializes topologies for external tools: Graphviz DOT,
+// a JSON document, and a plain adjacency list. The cmd/topogen and
+// cmd/topostats binaries speak these formats.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteDOT writes an undirected Graphviz representation. Node positions
+// are exported as pos attributes (inches, pinned) so neato renders the
+// geography faithfully.
+func WriteDOT(w io.Writer, g *graph.Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "topology"
+	}
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=point];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(v)
+		fmt.Fprintf(bw, "  %d [pos=\"%f,%f!\", kind=%q", v, n.X*10, n.Y*10, n.Kind.String())
+		if n.Label != "" {
+			fmt.Fprintf(bw, ", label=%q", n.Label)
+		}
+		fmt.Fprintf(bw, "];\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d [weight=%g];\n", e.U, e.V, e.Weight)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// jsonTopology is the JSON wire format.
+type jsonTopology struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    int     `json:"id"`
+	Kind  string  `json:"kind"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Label string  `json:"label,omitempty"`
+}
+
+type jsonEdge struct {
+	U        int     `json:"u"`
+	V        int     `json:"v"`
+	Weight   float64 `json:"weight"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Cable    int     `json:"cable,omitempty"`
+}
+
+// WriteJSON writes the topology as a single JSON document.
+func WriteJSON(w io.Writer, g *graph.Graph, name string) error {
+	doc := jsonTopology{Name: name}
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(v)
+		doc.Nodes = append(doc.Nodes, jsonNode{
+			ID: v, Kind: n.Kind.String(), X: n.X, Y: n.Y, Label: n.Label,
+		})
+	}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, jsonEdge{
+			U: e.U, V: e.V, Weight: e.Weight, Capacity: e.Capacity, Cable: e.Cable,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a topology previously written by WriteJSON. Node kinds
+// it does not recognize become KindUnknown.
+func ReadJSON(r io.Reader) (*graph.Graph, string, error) {
+	var doc jsonTopology
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, "", fmt.Errorf("export: decode JSON: %w", err)
+	}
+	g := graph.New(len(doc.Nodes))
+	// IDs must be dense 0..n-1; enforce by sorting and checking.
+	sort.Slice(doc.Nodes, func(a, b int) bool { return doc.Nodes[a].ID < doc.Nodes[b].ID })
+	for i, n := range doc.Nodes {
+		if n.ID != i {
+			return nil, "", fmt.Errorf("export: non-dense node id %d at position %d", n.ID, i)
+		}
+		g.AddNode(graph.Node{
+			Kind: parseKind(n.Kind), X: n.X, Y: n.Y, Label: n.Label,
+		})
+	}
+	for i, e := range doc.Edges {
+		if e.U < 0 || e.U >= len(doc.Nodes) || e.V < 0 || e.V >= len(doc.Nodes) || e.U == e.V {
+			return nil, "", fmt.Errorf("export: bad edge %d (%d,%d)", i, e.U, e.V)
+		}
+		g.AddEdge(graph.Edge{U: e.U, V: e.V, Weight: e.Weight, Capacity: e.Capacity, Cable: e.Cable})
+	}
+	return g, doc.Name, nil
+}
+
+func parseKind(s string) graph.NodeKind {
+	for _, k := range []graph.NodeKind{
+		graph.KindCore, graph.KindPOP, graph.KindConc,
+		graph.KindCustomer, graph.KindPeering,
+	} {
+		if k.String() == s {
+			return k
+		}
+	}
+	return graph.KindUnknown
+}
+
+// WriteAdjacency writes one line per edge: "u v weight".
+func WriteAdjacency(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.Weight)
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses the WriteAdjacency format. Node count is inferred
+// from the maximum id; nodes get zero annotations.
+func ReadAdjacency(r io.Reader) (*graph.Graph, error) {
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("export: line %d: need at least 'u v'", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("export: line %d: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("export: line %d: %w", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", line, err)
+			}
+		}
+		if u < 0 || v < 0 || u == v {
+			return nil, fmt.Errorf("export: line %d: bad edge (%d,%d)", line, u, v)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, edge{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := graph.New(maxID + 1)
+	for i := 0; i <= maxID; i++ {
+		g.AddNode(graph.Node{})
+	}
+	for _, e := range edges {
+		g.AddEdge(graph.Edge{U: e.u, V: e.v, Weight: e.w})
+	}
+	return g, nil
+}

@@ -1,0 +1,154 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sample() *graph.Graph {
+	g := graph.New(3)
+	g.AddNode(graph.Node{Kind: graph.KindCore, X: 0.5, Y: 0.5, Label: "root"})
+	g.AddNode(graph.Node{Kind: graph.KindCustomer, X: 0.1, Y: 0.2})
+	g.AddNode(graph.Node{Kind: graph.KindPOP, X: 0.9, Y: 0.8, Label: "pop-1"})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 0.5, Capacity: 4, Cable: 1})
+	g.AddEdge(graph.Edge{U: 0, V: 2, Weight: 0.5})
+	return g
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sample(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`graph "test"`, "0 -- 1", "0 -- 2", `label="root"`, `kind="pop"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sample(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "topology"`) {
+		t.Fatal("default name not applied")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g, "rt"); err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "rt" {
+		t.Fatalf("name = %q", name)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		a, b := g.Node(v), got.Node(v)
+		if a.Kind != b.Kind || a.X != b.X || a.Y != b.Y || a.Label != b.Label {
+			t.Fatalf("node %d mismatch: %+v vs %+v", v, a, b)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i), got.Edge(i)
+		if a.U != b.U || a.V != b.V || a.Weight != b.Weight || a.Capacity != b.Capacity {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	if _, _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+	// Non-dense node ids.
+	if _, _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":5}],"edges":[]}`)); err == nil {
+		t.Fatal("non-dense ids should error")
+	}
+	// Edge referencing missing node.
+	if _, _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":0}],"edges":[{"u":0,"v":3}]}`)); err == nil {
+		t.Fatal("dangling edge should error")
+	}
+	// Self-loop.
+	if _, _, err := ReadJSON(strings.NewReader(`{"nodes":[{"id":0},{"id":1}],"edges":[{"u":0,"v":0}]}`)); err == nil {
+		t.Fatal("self-loop should error")
+	}
+}
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	g := sample()
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("adjacency round trip: %d nodes %d edges", got.NumNodes(), got.NumEdges())
+	}
+	if got.Edge(0).Weight != 0.5 {
+		t.Fatalf("weight lost: %v", got.Edge(0).Weight)
+	}
+}
+
+func TestReadAdjacencyComments(t *testing.T) {
+	in := "# comment\n\n0 1\n1 2 3.5\n"
+	g, err := ReadAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Edge(0).Weight != 1 {
+		t.Fatal("default weight should be 1")
+	}
+	if g.Edge(1).Weight != 3.5 {
+		t.Fatal("explicit weight lost")
+	}
+}
+
+func TestReadAdjacencyErrors(t *testing.T) {
+	cases := []string{
+		"0\n",      // too few fields
+		"a b\n",    // non-integer
+		"0 zzz\n",  // non-integer
+		"0 1 xx\n", // bad weight
+		"0 0\n",    // self-loop
+		"-1 2\n",   // negative id
+	}
+	for _, c := range cases {
+		if _, err := ReadAdjacency(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should error", c)
+		}
+	}
+}
+
+func TestParseKindUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"name":"x","nodes":[{"id":0,"kind":"weird"}],"edges":[]}`)
+	g, _, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(0).Kind != graph.KindUnknown {
+		t.Fatal("unknown kind should map to KindUnknown")
+	}
+}

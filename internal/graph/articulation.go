@@ -1,0 +1,102 @@
+package graph
+
+// ArticulationPoints returns the ids of all cut vertices — nodes whose
+// removal disconnects their component — via an iterative low-link DFS.
+// The robustness harness uses them to explain why targeted attacks on
+// tree-like HOT topologies are so effective: almost every internal node
+// of a tree is an articulation point.
+func (g *Graph) ArticulationPoints() []int {
+	n := g.NumNodes()
+	disc := make([]int, n)
+	low := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	timer := 0
+
+	type frame struct {
+		u, parent int
+		nextIdx   int
+		children  int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{u: s, parent: -1}}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.nextIdx < len(g.adj[f.u]) {
+				h := g.adj[f.u][f.nextIdx]
+				f.nextIdx++
+				if h.to == f.parent {
+					continue
+				}
+				if disc[h.to] == -1 {
+					f.children++
+					disc[h.to] = timer
+					low[h.to] = timer
+					timer++
+					stack = append(stack, frame{u: h.to, parent: f.u})
+				} else if disc[h.to] < low[f.u] {
+					low[f.u] = disc[h.to]
+				}
+				continue
+			}
+			// Post-order.
+			done := *f
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[done.u] < low[p.u] {
+					low[p.u] = low[done.u]
+				}
+				// Non-root p is a cut vertex if some child cannot reach
+				// above p.
+				if p.parent != -1 && low[done.u] >= disc[p.u] {
+					isCut[p.u] = true
+				}
+			}
+			// Root rule: root is a cut vertex iff it has >= 2 DFS children.
+			if done.parent == -1 && done.children >= 2 {
+				isCut[done.u] = true
+			}
+		}
+	}
+	var out []int
+	for v, c := range isCut {
+		if c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ApproxWeightedDiameter estimates the weighted diameter with the
+// double-sweep heuristic: Dijkstra from `start`, then from the farthest
+// node found. The result is a lower bound on the true diameter and exact
+// on trees.
+func (g *Graph) ApproxWeightedDiameter(start int) float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	dist, _, _ := g.Dijkstra(start)
+	far, best := start, 0.0
+	for v, d := range dist {
+		if d != Inf && d > best {
+			far, best = v, d
+		}
+	}
+	dist2, _, _ := g.Dijkstra(far)
+	best2 := 0.0
+	for _, d := range dist2 {
+		if d != Inf && d > best2 {
+			best2 = d
+		}
+	}
+	return best2
+}

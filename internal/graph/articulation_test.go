@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestArticulationPointsPath(t *testing.T) {
+	g := pathGraph(5)
+	pts := g.ArticulationPoints()
+	want := []int{1, 2, 3}
+	if len(pts) != len(want) {
+		t.Fatalf("articulation points = %v, want %v", pts, want)
+	}
+	sort.Ints(pts)
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("articulation points = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycleNone(t *testing.T) {
+	if pts := cycleGraph(6).ArticulationPoints(); len(pts) != 0 {
+		t.Fatalf("cycle has cut vertices: %v", pts)
+	}
+}
+
+func TestArticulationPointsStarHub(t *testing.T) {
+	pts := starGraph(8).ArticulationPoints()
+	if len(pts) != 1 || pts[0] != 0 {
+		t.Fatalf("star cut vertices = %v, want [0]", pts)
+	}
+}
+
+func TestArticulationPointsDumbbell(t *testing.T) {
+	// Two triangles joined via relay node 3: only the two junction nodes
+	// and the relay are cuts.
+	g := New(7)
+	for i := 0; i < 7; i++ {
+		g.AddNode(Node{})
+	}
+	g.AddEdge(Edge{U: 0, V: 1})
+	g.AddEdge(Edge{U: 1, V: 2})
+	g.AddEdge(Edge{U: 2, V: 0})
+	g.AddEdge(Edge{U: 2, V: 3})
+	g.AddEdge(Edge{U: 3, V: 4})
+	g.AddEdge(Edge{U: 4, V: 5})
+	g.AddEdge(Edge{U: 5, V: 6})
+	g.AddEdge(Edge{U: 6, V: 4})
+	pts := g.ArticulationPoints()
+	sort.Ints(pts)
+	want := []int{2, 3, 4}
+	if len(pts) != len(want) {
+		t.Fatalf("cut vertices = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("cut vertices = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomConnectedGraph(t, seed, 25, 15)
+		fast := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			fast[v] = true
+		}
+		comps := func(gg *Graph) int {
+			_, sizes := gg.ConnectedComponents()
+			return len(sizes)
+		}
+		orig := comps(g)
+		for v := 0; v < g.NumNodes(); v++ {
+			sub, _ := g.RemoveNodes([]int{v})
+			isCut := comps(sub) > orig // removal split the graph
+			if isCut != fast[v] {
+				t.Fatalf("seed %d node %d: brute force cut=%v, fast=%v", seed, v, isCut, fast[v])
+			}
+		}
+	}
+}
+
+func TestApproxWeightedDiameterTreeExact(t *testing.T) {
+	// On a path with unit weights the double sweep is exact.
+	g := pathGraph(30)
+	if d := g.ApproxWeightedDiameter(7); math.Abs(d-29) > 1e-12 {
+		t.Fatalf("path diameter estimate = %v, want 29", d)
+	}
+}
+
+func TestApproxWeightedDiameterLowerBound(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomConnectedGraph(t, seed, 60, 80)
+		est := g.ApproxWeightedDiameter(0)
+		// Exact diameter by all-pairs Dijkstra.
+		exact := 0.0
+		for v := 0; v < g.NumNodes(); v++ {
+			dist, _, _ := g.Dijkstra(v)
+			for _, d := range dist {
+				if d != Inf && d > exact {
+					exact = d
+				}
+			}
+		}
+		if est > exact+1e-9 {
+			t.Fatalf("estimate %v exceeds exact %v", est, exact)
+		}
+		if est < exact/2-1e-9 {
+			t.Fatalf("estimate %v below the double-sweep guarantee (exact %v)", est, exact)
+		}
+	}
+}
+
+func TestApproxWeightedDiameterEmpty(t *testing.T) {
+	if (&Graph{}).ApproxWeightedDiameter(0) != 0 {
+		t.Fatal("empty graph diameter should be 0")
+	}
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMaxFlowSingleEdge(t *testing.T) {
+	g := New(2)
+	g.AddNode(Node{})
+	g.AddNode(Node{})
+	g.AddEdge(Edge{U: 0, V: 1, Weight: 1, Capacity: 7})
+	if f := g.MaxFlow(0, 1); f != 7 {
+		t.Fatalf("flow = %v, want 7", f)
+	}
+}
+
+func TestMaxFlowSeriesBottleneck(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddNode(Node{})
+	}
+	g.AddEdge(Edge{U: 0, V: 1, Weight: 1, Capacity: 10})
+	g.AddEdge(Edge{U: 1, V: 2, Weight: 1, Capacity: 3})
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Fatalf("flow = %v, want 3 (bottleneck)", f)
+	}
+}
+
+func TestMaxFlowParallelPathsAdd(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(Node{})
+	}
+	g.AddEdge(Edge{U: 0, V: 1, Weight: 1, Capacity: 4})
+	g.AddEdge(Edge{U: 1, V: 3, Weight: 1, Capacity: 4})
+	g.AddEdge(Edge{U: 0, V: 2, Weight: 1, Capacity: 5})
+	g.AddEdge(Edge{U: 2, V: 3, Weight: 1, Capacity: 2})
+	if f := g.MaxFlow(0, 3); f != 6 {
+		t.Fatalf("flow = %v, want 6 (4 + 2)", f)
+	}
+}
+
+func TestMaxFlowClassicNetwork(t *testing.T) {
+	// Classic CLRS-style example adapted to undirected edges.
+	g := New(6)
+	for i := 0; i < 6; i++ {
+		g.AddNode(Node{})
+	}
+	add := func(u, v int, c float64) { g.AddEdge(Edge{U: u, V: v, Weight: 1, Capacity: c}) }
+	add(0, 1, 16)
+	add(0, 2, 13)
+	add(1, 3, 12)
+	add(2, 1, 4)
+	add(2, 4, 14)
+	add(3, 2, 9)
+	add(3, 5, 20)
+	add(4, 3, 7)
+	add(4, 5, 4)
+	f := g.MaxFlow(0, 5)
+	// Undirected version: cut {3-5, 4-5} = 24 vs source side 16+13=29 vs
+	// {1-3,4-3,4-5}=23... verify against brute-force min cut below
+	// rather than a hand value.
+	want := bruteMinCut(g, 0, 5)
+	if math.Abs(f-want) > 1e-9 {
+		t.Fatalf("flow = %v, brute min cut = %v", f, want)
+	}
+}
+
+// bruteMinCut enumerates all src/dst-separating bipartitions (graphs
+// small enough only) and returns the cheapest crossing capacity.
+func bruteMinCut(g *Graph, src, dst int) float64 {
+	n := g.NumNodes()
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		if mask&(1<<src) == 0 || mask&(1<<dst) != 0 {
+			continue
+		}
+		cut := 0.0
+		for _, e := range g.Edges() {
+			inU := mask&(1<<e.U) != 0
+			inV := mask&(1<<e.V) != 0
+			if inU != inV && e.Capacity > 0 {
+				cut += e.Capacity
+			}
+		}
+		if cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+func TestMaxFlowMatchesBruteMinCutRandom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := rng.New(seed)
+		n := 8
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(Node{})
+		}
+		for i := 0; i < 14; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(Edge{U: u, V: v, Weight: 1, Capacity: float64(1 + r.Intn(9))})
+			}
+		}
+		f := g.MaxFlow(0, n-1)
+		want := bruteMinCut(g, 0, n-1)
+		if math.IsInf(want, 1) {
+			want = 0 // disconnected: brute force found no finite cut only if no edges at all
+		}
+		if math.Abs(f-want) > 1e-9 {
+			t.Fatalf("seed %d: flow %v != brute min cut %v", seed, f, want)
+		}
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(2)
+	g.AddNode(Node{})
+	g.AddNode(Node{})
+	if f := g.MaxFlow(0, 1); f != 0 {
+		t.Fatalf("disconnected flow = %v, want 0", f)
+	}
+}
+
+func TestMaxFlowDegenerateArgs(t *testing.T) {
+	g := pathGraph(3)
+	if g.MaxFlow(0, 0) != 0 {
+		t.Fatal("src == dst should be 0")
+	}
+	if g.MaxFlow(-1, 2) != 0 || g.MaxFlow(0, 99) != 0 {
+		t.Fatal("out-of-range nodes should be 0")
+	}
+}
+
+func TestMaxFlowIgnoresZeroCapacity(t *testing.T) {
+	g := New(2)
+	g.AddNode(Node{})
+	g.AddNode(Node{})
+	g.AddEdge(Edge{U: 0, V: 1, Weight: 1, Capacity: 0})
+	if f := g.MaxFlow(0, 1); f != 0 {
+		t.Fatalf("zero-capacity flow = %v, want 0", f)
+	}
+}
+
+func TestMinCutValueAlias(t *testing.T) {
+	g := pathGraph(4)
+	for i := range g.Edges() {
+		g.Edge(i).Capacity = 2
+	}
+	if g.MinCutValue(0, 3) != 2 {
+		t.Fatal("MinCutValue should equal MaxFlow")
+	}
+}

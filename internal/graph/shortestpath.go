@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// Dijkstra computes single-source shortest paths by edge weight from src.
+// It returns per-node distance (Inf if unreachable), the parent node on
+// a shortest path tree (-1 for src/unreachable), and the parent edge index
+// (-1 likewise). Negative edge weights panic.
+func (g *Graph) Dijkstra(src int) (dist []float64, parent []int, parentEdge []int) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	parentEdge = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+	if n == 0 {
+		return dist, parent, parentEdge
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		u := item.node
+		if item.dist > dist[u] {
+			continue // stale entry
+		}
+		for _, h := range g.adj[u] {
+			w := g.edges[h.edge].Weight
+			if w < 0 {
+				panic("graph: Dijkstra requires non-negative edge weights")
+			}
+			nd := dist[u] + w
+			if nd < dist[h.to] {
+				dist[h.to] = nd
+				parent[h.to] = u
+				parentEdge[h.to] = h.edge
+				heap.Push(pq, distItem{node: h.to, dist: nd})
+			}
+		}
+	}
+	return dist, parent, parentEdge
+}
+
+// PathTo reconstructs the node sequence src..dst from a Dijkstra/BFS
+// parent array. It returns nil when dst is unreachable (parent chain does
+// not terminate at a -1-parent root equal to src).
+func PathTo(parent []int, src, dst int) []int {
+	if dst < 0 || dst >= len(parent) {
+		return nil
+	}
+	var rev []int
+	for u := dst; u != -1; u = parent[u] {
+		rev = append(rev, u)
+		if u == src {
+			// reverse and return
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		if len(rev) > len(parent) {
+			return nil // defensive: cycle in parent array
+		}
+	}
+	return nil
+}
+
+// ShortestPathDAGEdges returns the edge ids on the path from src to dst
+// given Dijkstra's parentEdge array, in src→dst order, or nil if
+// unreachable.
+func ShortestPathDAGEdges(parent, parentEdge []int, src, dst int) []int {
+	nodes := PathTo(parent, src, dst)
+	if nodes == nil {
+		return nil
+	}
+	edges := make([]int, 0, len(nodes)-1)
+	for _, u := range nodes[1:] {
+		edges = append(edges, parentEdge[u])
+	}
+	return edges
+}
+
+// WeightedEccentricity returns the max finite Dijkstra distance from src.
+func (g *Graph) WeightedEccentricity(src int) float64 {
+	dist, _, _ := g.Dijkstra(src)
+	max := 0.0
+	for _, d := range dist {
+		if !math.IsInf(d, 1) && d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AverageWeightedDistance returns the mean weighted shortest-path distance
+// over connected ordered pairs. O(n * m log n).
+func (g *Graph) AverageWeightedDistance() (float64, int) {
+	total := 0.0
+	pairs := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		dist, _, _ := g.Dijkstra(u)
+		for v, d := range dist {
+			if v != u && !math.IsInf(d, 1) {
+				total += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return total / float64(pairs), pairs
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,107 @@
+package isp
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestProvisionBackboneBasics(t *testing.T) {
+	d, err := Build(baseConfig(t, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProvisionBackbone(d, testGeo(t, 20, 41), access.DefaultCatalog(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Demands == 0 {
+		t.Fatal("no demands routed")
+	}
+	if len(rep.LoadPerEdge) != len(d.BackboneEdges) {
+		t.Fatal("per-edge arrays mismatched")
+	}
+	if rep.ProvisionCost <= 0 {
+		t.Fatal("provisioning should cost something")
+	}
+	if rep.MaxUtilization > 1+1e-9 {
+		t.Fatalf("utilization %v exceeds 1 after provisioning", rep.MaxUtilization)
+	}
+	// Capacities were written back onto the backbone edges.
+	for _, eid := range d.BackboneEdges {
+		if d.Graph.Edge(eid).Capacity <= 0 {
+			t.Fatal("backbone edge left unprovisioned")
+		}
+	}
+}
+
+func TestProvisionBackboneCapacityCoversLoad(t *testing.T) {
+	d, err := Build(baseConfig(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProvisionBackbone(d, testGeo(t, 20, 42), access.DefaultCatalog(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := access.DefaultCatalog()
+	for k := range rep.LoadPerEdge {
+		cap := float64(rep.CountPerEdge[k]) * cat[rep.CablePerEdge[k]].Capacity
+		if rep.LoadPerEdge[k] > cap+1e-9 {
+			t.Fatalf("edge %d: load %v exceeds cable capacity %v",
+				k, rep.LoadPerEdge[k], cap)
+		}
+	}
+}
+
+func TestProvisionBackboneSinglePOP(t *testing.T) {
+	geo := testGeo(t, 3, 43)
+	d, err := Build(Config{Geography: geo, NumPOPs: 1, Customers: 20, Seed: 1, DemandMin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ProvisionBackbone(d, geo, access.DefaultCatalog(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Demands != 0 || rep.ProvisionCost != 0 {
+		t.Fatalf("single-POP provisioning should be empty: %+v", rep)
+	}
+}
+
+func TestProvisionBackboneErrors(t *testing.T) {
+	d, err := Build(baseConfig(t, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProvisionBackbone(d, nil, access.DefaultCatalog(), 0); err == nil {
+		t.Fatal("nil geography should error")
+	}
+	if _, err := ProvisionBackbone(d, testGeo(t, 20, 44), access.Catalog{}, 0); err == nil {
+		t.Fatal("empty catalog should error")
+	}
+}
+
+func TestProvisionBackboneExplicitScale(t *testing.T) {
+	d, err := Build(baseConfig(t, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := testGeo(t, 20, 45)
+	small, err := ProvisionBackbone(d, geo, access.DefaultCatalog(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(baseConfig(t, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ProvisionBackbone(d2, geo, access.DefaultCatalog(), 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ProvisionCost <= small.ProvisionCost {
+		t.Fatalf("more demand should cost more: %v vs %v",
+			big.ProvisionCost, small.ProvisionCost)
+	}
+}

@@ -1,0 +1,314 @@
+// Package metrics implements the topology comparison metrics the paper
+// points to (reference [30], Tangmunarunkit et al., "Network topology
+// generators: Degree-based vs. structural"): expansion, resilience, and
+// distortion, plus hierarchy depth and a spectral characterization.
+//
+// These metrics are what experiment E7 uses to demonstrate the paper's
+// §1 claim: a generator tuned to match one metric (the degree
+// distribution) can still "look very dissimilar on others."
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Expansion measures how rapidly BFS balls grow: the average, over sample
+// source nodes, of the fraction of nodes reachable within h hops, for each
+// h up to maxH. High expansion ⇒ the graph "spreads" quickly (low
+// diameter); trees expand slowly, well-connected meshes fast.
+//
+// sampleSources bounds the number of BFS sources (all nodes if <= 0 or
+// larger than n); sources are chosen deterministically from seed.
+func Expansion(g *graph.Graph, maxH, sampleSources int, seed int64) []float64 {
+	n := g.NumNodes()
+	if n == 0 || maxH <= 0 {
+		return nil
+	}
+	sources := chooseSources(n, sampleSources, seed)
+	out := make([]float64, maxH+1)
+	for _, s := range sources {
+		dist, _ := g.BFS(s)
+		counts := make([]int, maxH+1)
+		for _, d := range dist {
+			if d >= 0 && d <= maxH {
+				counts[d]++
+			}
+		}
+		acc := 0
+		for h := 0; h <= maxH; h++ {
+			acc += counts[h]
+			out[h] += float64(acc) / float64(n)
+		}
+	}
+	for h := range out {
+		out[h] /= float64(len(sources))
+	}
+	return out
+}
+
+// Resilience measures how gracefully connectivity degrades under random
+// node removal: it returns the area under the curve of (largest component
+// fraction) vs (fraction removed), estimated over `trials` random removal
+// orders at `steps` removal fractions. 1.0 would mean the graph never
+// fragments; lower is less resilient.
+func Resilience(g *graph.Graph, steps, trials int, seed int64) float64 {
+	n := g.NumNodes()
+	if n == 0 || steps <= 0 || trials <= 0 {
+		return 0
+	}
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		r := rng.New(rng.Derive(seed, trial))
+		perm := rng.Shuffle(r, n)
+		for s := 1; s <= steps; s++ {
+			frac := float64(s) / float64(steps+1)
+			k := int(frac * float64(n))
+			sub, _ := g.RemoveNodes(perm[:k])
+			lcc := 0.0
+			if sub.NumNodes() > 0 {
+				lcc = float64(sub.LargestComponentSize()) / float64(n)
+			}
+			total += lcc
+		}
+	}
+	return total / float64(steps*trials)
+}
+
+// Distortion measures how well the graph's own spanning structure
+// preserves graph distances: following [30], it is the average, over
+// edges of a minimum spanning tree of the graph, of the tree distance
+// between the edge's endpoints — equivalently how much the tree "stretches"
+// adjacent pairs. A tree has distortion 1; meshes with much redundancy
+// have higher distortion.
+//
+// Implementation: build an MST T (by edge weight; falls back to hop count
+// when weights are zero), then average over all *graph* edges (u,v) the
+// hop distance between u and v in T.
+func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
+	m := g.NumEdges()
+	n := g.NumNodes()
+	if m == 0 || n == 0 {
+		return 0
+	}
+	// Build MST as its own graph.
+	mstIDs, _ := g.KruskalMST()
+	tree := graph.New(n)
+	for i := 0; i < n; i++ {
+		tree.AddNode(*g.Node(i))
+	}
+	inMST := make(map[int]bool, len(mstIDs))
+	for _, id := range mstIDs {
+		e := g.Edge(id)
+		tree.AddEdge(graph.Edge{U: e.U, V: e.V, Weight: e.Weight})
+		inMST[id] = true
+	}
+	// Sample non-tree edges (tree edges have distortion exactly 1).
+	edges := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, i)
+	}
+	if sampleEdges > 0 && sampleEdges < m {
+		r := rng.New(seed)
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		edges = edges[:sampleEdges]
+	}
+	// Group queries by source to share BFS runs.
+	bySrc := map[int][]int{}
+	for _, id := range edges {
+		e := g.Edge(id)
+		bySrc[e.U] = append(bySrc[e.U], e.V)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	total := 0.0
+	count := 0
+	for _, s := range srcs {
+		dist, _ := tree.BFS(s)
+		for _, v := range bySrc[s] {
+			if dist[v] > 0 {
+				total += float64(dist[v])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// HierarchyDepth classifies how tree-like / layered a rooted topology is:
+// the mean depth of all nodes below the root divided by log2(n), so a
+// balanced binary tree scores ~1, a star ~1/log2(n), and a path ~n/(2
+// log2 n). Root is the node with maximum betweenness when root < 0.
+func HierarchyDepth(g *graph.Graph, root int) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	if root < 0 {
+		bc := g.Betweenness()
+		root = 0
+		for i, b := range bc {
+			if b > bc[root] {
+				root = i
+			}
+		}
+	}
+	dist, _ := g.BFS(root)
+	total, count := 0, 0
+	for _, d := range dist {
+		if d > 0 {
+			total += d
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return (float64(total) / float64(count)) / math.Log2(float64(n))
+}
+
+// SpectralGap estimates the second-smallest eigenvalue of the normalized
+// Laplacian (the algebraic connectivity proxy) via inverse power iteration
+// on the deflated matrix. Larger gap ⇒ better expansion / harder to cut.
+// Returns 0 for disconnected or trivial graphs.
+func SpectralGap(g *graph.Graph, iters int) float64 {
+	n := g.NumNodes()
+	if n < 2 || !g.IsConnected() {
+		return 0
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	deg := g.Degrees()
+	// We find the second-largest eigenvalue mu of the normalized adjacency
+	// walk matrix N = D^-1/2 A D^-1/2 by power iteration with deflation of
+	// the known top eigenvector v1(i) = sqrt(deg_i). Then lambda2 = 1 - mu.
+	v1 := make([]float64, n)
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		v1[i] = math.Sqrt(float64(deg[i]))
+		norm += v1[i] * v1[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := range v1 {
+		v1[i] /= norm
+	}
+	// Deterministic pseudo-random start vector.
+	x := make([]float64, n)
+	r := rng.New(12345)
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+	y := make([]float64, n)
+	var mu float64
+	for it := 0; it < iters; it++ {
+		// Deflate: x ← x - (v1·x) v1.
+		dot := 0.0
+		for i := range x {
+			dot += x[i] * v1[i]
+		}
+		for i := range x {
+			x[i] -= dot * v1[i]
+		}
+		// y = (N + I)/2 * x  — shift to make all eigenvalues non-negative,
+		// preserving order. (N's spectrum lies in [-1, 1].)
+		for i := range y {
+			y[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			du := math.Sqrt(float64(deg[u]))
+			if du == 0 {
+				continue
+			}
+			g.Neighbors(u, func(v, _ int) {
+				dv := math.Sqrt(float64(deg[v]))
+				if dv > 0 {
+					y[v] += x[u] / (du * dv)
+				}
+			})
+		}
+		for i := range y {
+			y[i] = (y[i] + x[i]) / 2
+		}
+		// Rayleigh quotient for (N+I)/2, then undo the shift.
+		num, den := 0.0, 0.0
+		for i := range y {
+			num += y[i] * x[i]
+			den += x[i] * x[i]
+		}
+		if den == 0 {
+			return 0
+		}
+		shifted := num / den
+		mu = 2*shifted - 1
+		// Normalize and continue.
+		ynorm := 0.0
+		for i := range y {
+			ynorm += y[i] * y[i]
+		}
+		ynorm = math.Sqrt(ynorm)
+		if ynorm == 0 {
+			return 0
+		}
+		for i := range y {
+			x[i] = y[i] / ynorm
+		}
+	}
+	lambda2 := 1 - mu
+	if lambda2 < 0 {
+		lambda2 = 0
+	}
+	return lambda2
+}
+
+// Profile bundles the comparison metrics for one topology, as used by
+// experiment E7.
+type Profile struct {
+	Nodes, Edges   int
+	MaxDegree      int
+	ExpansionAt3   float64 // fraction of graph within 3 hops (averaged)
+	Resilience     float64
+	Distortion     float64
+	HierarchyDepth float64
+	SpectralGap    float64
+}
+
+// ComputeProfile evaluates the full metric suite with deterministic
+// sampling budgets suitable for graphs up to a few thousand nodes.
+func ComputeProfile(g *graph.Graph, seed int64) Profile {
+	p := Profile{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+	}
+	exp := Expansion(g, 3, 50, seed)
+	if len(exp) > 3 {
+		p.ExpansionAt3 = exp[3]
+	}
+	p.Resilience = Resilience(g, 10, 3, seed)
+	p.Distortion = Distortion(g, 2000, seed)
+	p.HierarchyDepth = HierarchyDepth(g, -1)
+	p.SpectralGap = SpectralGap(g, 150)
+	return p
+}
+
+func chooseSources(n, k int, seed int64) []int {
+	if k <= 0 || k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	r := rng.New(seed)
+	return rng.Shuffle(r, n)[:k]
+}

@@ -1,0 +1,142 @@
+package peering
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildManualTransit constructs a TransitResult by hand: AS graph with
+// labelled relationship edges.
+func buildManualTransit(nAS int, transits [][2]int, peers [][2]int) *TransitResult {
+	as := graph.New(nAS)
+	for i := 0; i < nAS; i++ {
+		as.AddNode(graph.Node{Kind: graph.KindPeering})
+	}
+	tr := &TransitResult{ASAll: as, Tier: make([]int, nAS)}
+	for _, t := range transits { // t[0] = customer, t[1] = provider
+		as.AddEdge(graph.Edge{U: t[0], V: t[1], Weight: 1, Cable: 1})
+		tr.Links = append(tr.Links, TransitLink{Customer: t[0], Provider: t[1]})
+	}
+	for _, p := range peers {
+		as.AddEdge(graph.Edge{U: p[0], V: p[1], Weight: 1, Cable: 0})
+	}
+	return tr
+}
+
+func TestValleyFreeUpDownPath(t *testing.T) {
+	// 0 and 1 are customers of provider 2: 0 -> 2 -> 1 is valley-free.
+	tr := buildManualTransit(3, [][2]int{{0, 2}, {1, 2}}, nil)
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable[0][1] || res.Hops[0][1] != 2 {
+		t.Fatalf("0->1 should be reachable in 2 hops: %v %d", res.Reachable[0][1], res.Hops[0][1])
+	}
+	if res.ReachableFrac != 1 {
+		t.Fatalf("full reachability expected, got %v", res.ReachableFrac)
+	}
+}
+
+func TestValleyFreeBlocksValley(t *testing.T) {
+	// Chain: 1 is provider of 0; 1 is customer of 2; 3 is customer of 2.
+	// 0 -> 1 -> 2 -> 3 climbs then descends: valley-free, OK.
+	// But: 0 and 4 both customers of 1 only; 4 -> 1 -> 0 is up-down OK.
+	// The forbidden case: 1 and 3 are providers of nobody shared; a path
+	// 1 -> 0 -> ... cannot climb again after descending to 0.
+	tr := buildManualTransit(5,
+		[][2]int{{0, 1}, {1, 2}, {3, 2}, {4, 1}},
+		nil)
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 -> 1 -> 2 -> 3: up, up, down — fine.
+	if !res.Reachable[4][3] {
+		t.Fatal("4 should reach 3 via providers")
+	}
+	// Everything reaches everything here because the tree is fully
+	// provider-connected; verify hop counts reflect up-then-down.
+	if res.Hops[0][3] != 3 {
+		t.Fatalf("0->3 hops = %d, want 3 (0-1-2-3)", res.Hops[0][3])
+	}
+}
+
+func TestValleyFreeSinglePeerHop(t *testing.T) {
+	// Two provider trees joined only by a peer edge between the roots:
+	// leaves of one tree reach leaves of the other through the single
+	// peer crossing.
+	tr := buildManualTransit(6,
+		[][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}},
+		[][2]int{{2, 5}})
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable[0][3] {
+		t.Fatal("0 should reach 3 via the peer bridge")
+	}
+	if res.Hops[0][3] != 5 {
+		t.Fatalf("0->3 hops = %d, want 5 (0-1-2~5-4-3)", res.Hops[0][3])
+	}
+}
+
+func TestValleyFreeTwoPeerHopsForbidden(t *testing.T) {
+	// Three stub ASes connected in a peer chain 0~1~2: 0 cannot reach 2
+	// (two lateral hops), though 0 reaches 1.
+	tr := buildManualTransit(3, nil, [][2]int{{0, 1}, {1, 2}})
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable[0][1] {
+		t.Fatal("0 should reach its peer 1")
+	}
+	if res.Reachable[0][2] {
+		t.Fatal("0 must not reach 2 across two peer hops")
+	}
+}
+
+func TestValleyFreeNoExportThroughCustomer(t *testing.T) {
+	// 1 is customer of both 0 and 2 (multihomed stub). 0 must NOT reach
+	// 2 through 1 (a customer does not transit its providers): the path
+	// 0 -> 1 is a descent, after which climbing 1 -> 2 is a valley.
+	tr := buildManualTransit(3, [][2]int{{1, 0}, {1, 2}}, nil)
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable[0][2] {
+		t.Fatal("providers must not reach each other through a shared customer")
+	}
+	if !res.Reachable[0][1] || !res.Reachable[1][2] {
+		t.Fatal("direct customer relationships must work both ways")
+	}
+}
+
+func TestValleyFreeOnAssembledInternet(t *testing.T) {
+	inet := skewedInternet(t, 61, 12)
+	tr, err := AssignTransit(inet, TransitConfig{ProvidersPerCustomer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ValleyFree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tier-1s densely peered (cheap setup) and everyone buying
+	// transit upward, reachability should be (near-)complete.
+	if res.ReachableFrac < 0.95 {
+		t.Fatalf("assembled internet valley-free reachability = %v, want >= 0.95", res.ReachableFrac)
+	}
+	if res.AvgHops <= 1 {
+		t.Fatalf("avg AS path length = %v, implausibly short", res.AvgHops)
+	}
+}
+
+func TestValleyFreeNilInput(t *testing.T) {
+	if _, err := ValleyFree(nil); err == nil {
+		t.Fatal("nil input should error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package robust implements the failure/attack harness for experiment E8:
+// the HOT prediction (paper §3.1) that optimization-designed topologies
+// are "robust yet fragile" — they tolerate the random component failures
+// they were implicitly designed around, while targeted removal of their
+// rare, load-bearing hubs causes disproportionate damage.
+package robust
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Strategy selects the node-removal order.
+type Strategy int
+
+// Removal strategies.
+const (
+	// RandomFailure removes nodes uniformly at random.
+	RandomFailure Strategy = iota
+	// DegreeAttack removes nodes in decreasing degree order (recomputed
+	// statically from the intact graph).
+	DegreeAttack
+	// BetweennessAttack removes nodes in decreasing betweenness order
+	// (static, computed once on the intact graph).
+	BetweennessAttack
+	// AdaptiveDegreeAttack recomputes degrees after every removal and
+	// always removes the currently highest-degree node — strictly
+	// deadlier than the static version on hub topologies.
+	AdaptiveDegreeAttack
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DegreeAttack:
+		return "degree-attack"
+	case BetweennessAttack:
+		return "betweenness-attack"
+	case AdaptiveDegreeAttack:
+		return "adaptive-degree-attack"
+	default:
+		return "random-failure"
+	}
+}
+
+// SweepPoint is connectivity after removing a fraction of nodes.
+type SweepPoint struct {
+	FracRemoved float64
+	// LCCFrac is the largest connected component size divided by the
+	// original node count.
+	LCCFrac float64
+}
+
+// Sweep removes nodes per the strategy at each fraction in fracs
+// (cumulatively consistent: larger fractions are supersets) and reports
+// the largest-component curve. Random failure averages over trials; the
+// deterministic attacks use a single pass.
+func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int64) ([]SweepPoint, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("robust: empty graph")
+	}
+	for _, f := range fracs {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("robust: removal fraction %v out of [0,1)", f)
+		}
+	}
+	if strat != RandomFailure {
+		trials = 1
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	out := make([]SweepPoint, len(fracs))
+	for i, f := range fracs {
+		out[i].FracRemoved = f
+	}
+	for trial := 0; trial < trials; trial++ {
+		order := removalOrder(g, strat, rng.Derive(seed, trial))
+		for i, f := range fracs {
+			k := int(f * float64(n))
+			sub, _ := g.RemoveNodes(order[:k])
+			lcc := 0.0
+			if sub.NumNodes() > 0 {
+				lcc = float64(sub.LargestComponentSize()) / float64(n)
+			}
+			out[i].LCCFrac += lcc
+		}
+	}
+	for i := range out {
+		out[i].LCCFrac /= float64(trials)
+	}
+	return out, nil
+}
+
+// removalOrder returns all node ids in removal order for the strategy.
+func removalOrder(g *graph.Graph, strat Strategy, seed int64) []int {
+	n := g.NumNodes()
+	switch strat {
+	case DegreeAttack:
+		deg := g.Degrees()
+		order := seqInts(n)
+		sort.SliceStable(order, func(a, b int) bool {
+			return deg[order[a]] > deg[order[b]]
+		})
+		return order
+	case BetweennessAttack:
+		bc := g.Betweenness()
+		order := seqInts(n)
+		sort.SliceStable(order, func(a, b int) bool {
+			return bc[order[a]] > bc[order[b]]
+		})
+		return order
+	case AdaptiveDegreeAttack:
+		return adaptiveDegreeOrder(g)
+	default:
+		return rng.Shuffle(rng.New(seed), n)
+	}
+}
+
+// adaptiveDegreeOrder greedily removes the currently highest-degree node
+// (ties to the lowest id), maintaining residual degrees incrementally.
+func adaptiveDegreeOrder(g *graph.Graph) []int {
+	n := g.NumNodes()
+	deg := g.Degrees()
+	removed := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			if best == -1 || deg[v] > deg[best] {
+				best = v
+			}
+		}
+		removed[best] = true
+		order = append(order, best)
+		g.Neighbors(best, func(u, _ int) {
+			if !removed[u] {
+				deg[u]--
+			}
+		})
+	}
+	return order
+}
+
+// AttackGap summarizes robust-yet-fragile in one number: the area between
+// the random-failure curve and the attack curve over the given fractions
+// (positive = attacks hurt more than failures; larger = more fragile to
+// targeting).
+func AttackGap(g *graph.Graph, attack Strategy, fracs []float64, trials int, seed int64) (float64, error) {
+	randCurve, err := Sweep(g, RandomFailure, fracs, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	atkCurve, err := Sweep(g, attack, fracs, 1, seed)
+	if err != nil {
+		return 0, err
+	}
+	gap := 0.0
+	for i := range fracs {
+		gap += randCurve[i].LCCFrac - atkCurve[i].LCCFrac
+	}
+	return gap / float64(len(fracs)), nil
+}
+
+// CriticalFraction estimates the removal fraction at which the largest
+// component first drops below `threshold` of the original size, by linear
+// scan over a uniform grid of `steps` fractions. Returns 1 if the network
+// never degrades below the threshold within the grid.
+func CriticalFraction(g *graph.Graph, strat Strategy, threshold float64, steps, trials int, seed int64) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("robust: need steps >= 1")
+	}
+	fracs := make([]float64, steps)
+	for i := range fracs {
+		fracs[i] = float64(i) / float64(steps)
+	}
+	curve, err := Sweep(g, strat, fracs, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, pt := range curve {
+		if pt.LCCFrac < threshold {
+			return pt.FracRemoved, nil
+		}
+	}
+	return 1, nil
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

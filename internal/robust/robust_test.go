@@ -1,0 +1,184 @@
+package robust
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{})
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.Edge{U: 0, V: i, Weight: 1})
+	}
+	return g
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(graph.New(0), RandomFailure, []float64{0.1}, 1, 1); err == nil {
+		t.Fatal("empty graph should error")
+	}
+	g := star(10)
+	if _, err := Sweep(g, RandomFailure, []float64{1.0}, 1, 1); err == nil {
+		t.Fatal("fraction 1.0 should error")
+	}
+	if _, err := Sweep(g, RandomFailure, []float64{-0.1}, 1, 1); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+}
+
+func TestSweepZeroRemovalIsIntact(t *testing.T) {
+	g := star(20)
+	pts, err := Sweep(g, RandomFailure, []float64{0}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].LCCFrac != 1 {
+		t.Fatalf("intact LCC frac = %v, want 1", pts[0].LCCFrac)
+	}
+}
+
+func TestDegreeAttackKillsStarInstantly(t *testing.T) {
+	g := star(100)
+	pts, err := Sweep(g, DegreeAttack, []float64{0.02}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing 2 nodes, the first being the hub, shatters the star.
+	if pts[0].LCCFrac > 0.02 {
+		t.Fatalf("star survived degree attack: LCC %v", pts[0].LCCFrac)
+	}
+}
+
+func TestRandomFailureGentlerThanAttackOnStar(t *testing.T) {
+	g := star(100)
+	gap, err := AttackGap(g, DegreeAttack, []float64{0.02, 0.05, 0.1}, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 {
+		t.Fatalf("star attack gap = %v, want positive (hub attack devastates)", gap)
+	}
+}
+
+func TestBetweennessAttack(t *testing.T) {
+	// A dumbbell: two cliques joined via one relay node. Betweenness
+	// attack removes the relay first.
+	g := graph.New(9)
+	for i := 0; i < 9; i++ {
+		g.AddNode(graph.Node{})
+	}
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(graph.Edge{U: u, V: v, Weight: 1})
+		}
+	}
+	for u := 5; u < 9; u++ {
+		for v := u + 1; v < 9; v++ {
+			g.AddEdge(graph.Edge{U: u, V: v, Weight: 1})
+		}
+	}
+	g.AddEdge(graph.Edge{U: 3, V: 4, Weight: 1})
+	g.AddEdge(graph.Edge{U: 4, V: 5, Weight: 1})
+	pts, err := Sweep(g, BetweennessAttack, []float64{0.12}, 1, 1) // removes 1 node
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the relay leaves LCC of 4/9.
+	if pts[0].LCCFrac > 0.5 {
+		t.Fatalf("betweenness attack failed to cut the dumbbell: %v", pts[0].LCCFrac)
+	}
+}
+
+func TestSweepMonotoneNonIncreasing(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{RandomFailure, DegreeAttack, BetweennessAttack} {
+		pts, err := Sweep(g, strat, []float64{0, 0.1, 0.2, 0.4, 0.6}, 5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].LCCFrac > pts[i-1].LCCFrac+1e-9 {
+				t.Fatalf("%v curve not non-increasing: %v", strat, pts)
+			}
+		}
+	}
+}
+
+func TestScaleFreeMoreFragileThanRandomGraph(t *testing.T) {
+	// The classic HOT-adjacent result: under degree attack, a BA
+	// scale-free graph loses connectivity much faster than an ER graph
+	// of the same density.
+	n := 400
+	ba, err := gen.BarabasiAlbert(n, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := gen.ErdosRenyiGNM(n, ba.NumEdges(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.05, 0.1, 0.2, 0.3}
+	gapBA, err := AttackGap(ba, DegreeAttack, fracs, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapER, err := AttackGap(er, DegreeAttack, fracs, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapBA <= gapER {
+		t.Fatalf("BA attack gap %v should exceed ER %v", gapBA, gapER)
+	}
+}
+
+func TestCriticalFraction(t *testing.T) {
+	g := star(100)
+	// Degree attack destroys the star immediately.
+	f, err := CriticalFraction(g, DegreeAttack, 0.5, 20, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f > 0.1 {
+		t.Fatalf("star critical fraction under attack = %v, want tiny", f)
+	}
+	if _, err := CriticalFraction(g, DegreeAttack, 0.5, 0, 1, 7); err == nil {
+		t.Fatal("steps=0 should error")
+	}
+}
+
+func TestCriticalFractionNeverDegrades(t *testing.T) {
+	// A complete graph only loses what is removed; with threshold 0.01
+	// no grid fraction below 1 drops it under threshold.
+	g := graph.New(20)
+	for i := 0; i < 20; i++ {
+		g.AddNode(graph.Node{})
+	}
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			g.AddEdge(graph.Edge{U: u, V: v, Weight: 1})
+		}
+	}
+	f, err := CriticalFraction(g, RandomFailure, 0.01, 10, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("complete graph critical fraction = %v, want 1", f)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, s := range []Strategy{RandomFailure, DegreeAttack, BetweennessAttack} {
+		if s.String() == "" {
+			t.Fatal("empty strategy string")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MaxMinResult is the outcome of max-min fair rate allocation.
+type MaxMinResult struct {
+	// Rate[i] is the allocated rate of demands[i] (0 for unroutable).
+	Rate []float64
+	// Throughput is the sum of allocated rates.
+	Throughput float64
+	// JainIndex is Jain's fairness index over the routable demands'
+	// rates: 1.0 = perfectly equal, 1/k = maximally unfair.
+	JainIndex float64
+	// BottleneckEdges is the number of edges that are saturated.
+	BottleneckEdges int
+}
+
+// MaxMinFair computes the classic max-min fair ("water-filling") rate
+// allocation for the demand set, with each demand pinned to its shortest
+// path and rates constrained by edge capacities. Demands are treated as
+// elastic flows (TCP-like): the paper's performance analyses care about
+// what throughput the topology's provisioning actually supports, not
+// just whether demand volumes fit.
+//
+// Algorithm: progressive filling. Repeatedly find the edge whose equal
+// share among its unfrozen flows is smallest, freeze those flows at that
+// share, remove the capacity, and continue. O(E * F) in the worst case.
+func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
+	if err := checkDemands(g, demands); err != nil {
+		return nil, err
+	}
+	nd := len(demands)
+	res := &MaxMinResult{Rate: make([]float64, nd)}
+
+	// Pin each demand to its shortest path (edge id list).
+	flowEdges := make([][]int, nd)
+	bySrc := map[int][]int{}
+	for i, d := range demands {
+		bySrc[d.Src] = append(bySrc[d.Src], i)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	for _, s := range srcs {
+		dist, parent, parentEdge := g.Dijkstra(s)
+		for _, i := range bySrc[s] {
+			d := demands[i]
+			if math.IsInf(dist[d.Dst], 1) || d.Volume <= 0 {
+				continue
+			}
+			for v := d.Dst; v != s; v = parent[v] {
+				flowEdges[i] = append(flowEdges[i], parentEdge[v])
+			}
+		}
+	}
+
+	// edgeFlows[e] = indices of unfrozen flows crossing edge e.
+	edgeFlows := make(map[int][]int)
+	for i, es := range flowEdges {
+		for _, e := range es {
+			edgeFlows[e] = append(edgeFlows[e], i)
+		}
+	}
+	remaining := make(map[int]float64, len(edgeFlows))
+	for e := range edgeFlows {
+		remaining[e] = g.Edge(e).Capacity
+	}
+	frozen := make([]bool, nd)
+	active := 0
+	for i, es := range flowEdges {
+		if len(es) > 0 {
+			active++
+		} else {
+			frozen[i] = true
+		}
+	}
+
+	for active > 0 {
+		// Find the tightest edge: min over edges of remaining / unfrozen.
+		bestEdge, bestShare := -1, math.Inf(1)
+		for e, flows := range edgeFlows {
+			cnt := 0
+			for _, i := range flows {
+				if !frozen[i] {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			share := remaining[e] / float64(cnt)
+			if share < bestShare {
+				bestEdge, bestShare = e, share
+			}
+		}
+		if bestEdge == -1 {
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		// Freeze every unfrozen flow on the bottleneck at the share, and
+		// charge that rate to every edge those flows traverse.
+		res.BottleneckEdges++
+		for _, i := range edgeFlows[bestEdge] {
+			if frozen[i] {
+				continue
+			}
+			frozen[i] = true
+			active--
+			res.Rate[i] = bestShare
+			for _, e := range flowEdges[i] {
+				remaining[e] -= bestShare
+				if remaining[e] < 0 {
+					remaining[e] = 0
+				}
+			}
+		}
+	}
+
+	// Cap rates at offered volume (a flow never sends more than its
+	// demand); redistributing the slack is a refinement real allocators
+	// do — progressive filling with demand caps — but the uncapped rate
+	// is the fair share, so capping is conservative and keeps the
+	// invariant rate <= fair share.
+	sum, sumSq := 0.0, 0.0
+	routable := 0
+	for i, d := range demands {
+		if res.Rate[i] > d.Volume {
+			res.Rate[i] = d.Volume
+		}
+		res.Throughput += res.Rate[i]
+		if len(flowEdges[i]) > 0 {
+			routable++
+			sum += res.Rate[i]
+			sumSq += res.Rate[i] * res.Rate[i]
+		}
+	}
+	if routable > 0 && sumSq > 0 {
+		res.JainIndex = sum * sum / (float64(routable) * sumSq)
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMaxMinFairSingleBottleneckSplit(t *testing.T) {
+	// Two flows share one capacity-6 edge: each gets 3.
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 6})
+	g.AddEdge(graph.Edge{U: 1, V: 2, Weight: 1, Capacity: 100})
+	res, err := MaxMinFair(g, []Demand{
+		{Src: 0, Dst: 1, Volume: 100},
+		{Src: 0, Dst: 2, Volume: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rate[0]-3) > 1e-9 || math.Abs(res.Rate[1]-3) > 1e-9 {
+		t.Fatalf("rates = %v, want [3 3]", res.Rate)
+	}
+	if math.Abs(res.JainIndex-1) > 1e-9 {
+		t.Fatalf("Jain index = %v, want 1 for equal rates", res.JainIndex)
+	}
+}
+
+func TestMaxMinFairUnevenBottlenecks(t *testing.T) {
+	// Flow A crosses a tight edge (cap 2); flow B rides a fat separate
+	// path (cap 10). Max-min: A = 2, B = 10.
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 2})
+	g.AddEdge(graph.Edge{U: 2, V: 3, Weight: 1, Capacity: 10})
+	res, err := MaxMinFair(g, []Demand{
+		{Src: 0, Dst: 1, Volume: 100},
+		{Src: 2, Dst: 3, Volume: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rate[0]-2) > 1e-9 || math.Abs(res.Rate[1]-10) > 1e-9 {
+		t.Fatalf("rates = %v, want [2 10]", res.Rate)
+	}
+	if res.Throughput != 12 {
+		t.Fatalf("throughput = %v, want 12", res.Throughput)
+	}
+}
+
+func TestMaxMinFairWaterFilling(t *testing.T) {
+	// Classic 3-flow example: flows A (0→2) and B (1→2) share edge
+	// (1,2) of cap 6 with A also crossing (0,1) of cap 2.
+	//   A: 0-1-2 (bottleneck 0-1 at 2)
+	//   B: 1-2 gets the leftover 6-2 = 4.
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 2})
+	g.AddEdge(graph.Edge{U: 1, V: 2, Weight: 1, Capacity: 6})
+	res, err := MaxMinFair(g, []Demand{
+		{Src: 0, Dst: 2, Volume: 100}, // A
+		{Src: 1, Dst: 2, Volume: 100}, // B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rate[0]-2) > 1e-9 {
+		t.Fatalf("flow A rate = %v, want 2", res.Rate[0])
+	}
+	if math.Abs(res.Rate[1]-4) > 1e-9 {
+		t.Fatalf("flow B rate = %v, want 4 (leftover after A freezes)", res.Rate[1])
+	}
+}
+
+func TestMaxMinFairRespectsOfferedVolume(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 100})
+	res, err := MaxMinFair(g, []Demand{{Src: 0, Dst: 1, Volume: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate[0] != 5 {
+		t.Fatalf("rate = %v, want capped at offered 5", res.Rate[0])
+	}
+}
+
+func TestMaxMinFairUnroutableFlow(t *testing.T) {
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 4})
+	res, err := MaxMinFair(g, []Demand{
+		{Src: 0, Dst: 1, Volume: 10},
+		{Src: 0, Dst: 2, Volume: 10}, // unreachable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate[1] != 0 {
+		t.Fatalf("unroutable flow got rate %v", res.Rate[1])
+	}
+	if res.Rate[0] != 4 {
+		t.Fatalf("routable flow rate = %v, want 4", res.Rate[0])
+	}
+}
+
+func TestMaxMinFairNoCapacityExceeded(t *testing.T) {
+	// Property: per-edge allocated load never exceeds capacity.
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 3})
+	g.AddEdge(graph.Edge{U: 1, V: 2, Weight: 1, Capacity: 5})
+	g.AddEdge(graph.Edge{U: 2, V: 3, Weight: 1, Capacity: 2})
+	g.AddEdge(graph.Edge{U: 3, V: 4, Weight: 1, Capacity: 9})
+	demands := []Demand{
+		{Src: 0, Dst: 4, Volume: 100},
+		{Src: 1, Dst: 3, Volume: 100},
+		{Src: 0, Dst: 2, Volume: 100},
+		{Src: 2, Dst: 4, Volume: 100},
+	}
+	res, err := MaxMinFair(g, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute loads along shortest paths (the path graph is unique).
+	load := make([]float64, g.NumEdges())
+	for i, d := range demands {
+		lo, hi := d.Src, d.Dst
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for e := lo; e < hi; e++ {
+			load[e] += res.Rate[i]
+		}
+	}
+	for e, l := range load {
+		if l > g.Edge(e).Capacity+1e-9 {
+			t.Fatalf("edge %d overloaded: %v > %v", e, l, g.Edge(e).Capacity)
+		}
+	}
+	if res.BottleneckEdges == 0 {
+		t.Fatal("no bottlenecks found on a saturated instance")
+	}
+}
+
+func TestMaxMinFairValidation(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	if _, err := MaxMinFair(g, []Demand{{Src: 0, Dst: 0, Volume: 1}}); err == nil {
+		t.Fatal("self demand should error")
+	}
+}

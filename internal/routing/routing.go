@@ -1,0 +1,224 @@
+// Package routing evaluates a topology's performance under a traffic
+// demand: shortest-path routing, per-link loads, utilization against
+// provisioned capacities, and delivered throughput. It is the
+// "performance" half of the paper's cost/performance tradeoff, used by
+// the ISP designer (internal/isp) and by experiments E4, E5 and E8.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Demand is one traffic requirement between two nodes of the graph.
+type Demand struct {
+	Src, Dst int
+	Volume   float64
+}
+
+// Result reports what happened when a demand set was routed.
+type Result struct {
+	// Load[i] is the traffic crossing edge i.
+	Load []float64
+	// Delivered is the demand volume that found a path (and, in
+	// capacitated mode, fit within capacity).
+	Delivered float64
+	// Dropped is the demand volume that could not be carried.
+	Dropped float64
+	// MaxUtilization is max over edges of Load/Capacity; +Inf if any
+	// loaded edge has zero capacity, 0 if no edges.
+	MaxUtilization float64
+	// AvgPathWeight is the demand-weighted average path length (by edge
+	// weight) of delivered traffic.
+	AvgPathWeight float64
+	// AvgHops is the demand-weighted average hop count of delivered
+	// traffic.
+	AvgHops float64
+}
+
+// RouteShortestPaths routes every demand on the (weight-)shortest path,
+// ignoring capacities: loads may exceed capacity, and the resulting
+// utilization says how well the topology was provisioned. Demands whose
+// endpoints are disconnected are dropped.
+//
+// Shortest-path trees are computed per distinct source, so grouping
+// demands by source keeps this O(S * m log n) for S distinct sources.
+func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
+	if err := checkDemands(g, demands); err != nil {
+		return nil, err
+	}
+	res := &Result{Load: make([]float64, g.NumEdges())}
+	bySrc := map[int][]Demand{}
+	for _, d := range demands {
+		bySrc[d.Src] = append(bySrc[d.Src], d)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	var totalW, totalHops float64
+	for _, s := range srcs {
+		dist, parent, parentEdge := g.Dijkstra(s)
+		for _, d := range bySrc[s] {
+			if d.Volume <= 0 {
+				continue
+			}
+			if math.IsInf(dist[d.Dst], 1) {
+				res.Dropped += d.Volume
+				continue
+			}
+			hops := 0
+			for v := d.Dst; v != s; v = parent[v] {
+				res.Load[parentEdge[v]] += d.Volume
+				hops++
+			}
+			res.Delivered += d.Volume
+			totalW += d.Volume * dist[d.Dst]
+			totalHops += d.Volume * float64(hops)
+		}
+	}
+	if res.Delivered > 0 {
+		res.AvgPathWeight = totalW / res.Delivered
+		res.AvgHops = totalHops / res.Delivered
+	}
+	res.MaxUtilization = maxUtilization(g, res.Load)
+	return res, nil
+}
+
+// RouteCapacitated routes demands in the given order on shortest paths,
+// admitting each demand only up to the remaining bottleneck capacity
+// along its path (partial delivery allowed). It is a greedy online
+// admission model: earlier demands grab capacity first.
+func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
+	if err := checkDemands(g, demands); err != nil {
+		return nil, err
+	}
+	res := &Result{Load: make([]float64, g.NumEdges())}
+	remaining := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		remaining[i] = e.Capacity
+	}
+	var totalW, totalHops float64
+	// Cache SP trees per source; demands often share sources.
+	type spt struct {
+		dist       []float64
+		parent     []int
+		parentEdge []int
+	}
+	cache := map[int]spt{}
+	for _, d := range demands {
+		if d.Volume <= 0 {
+			continue
+		}
+		tr, ok := cache[d.Src]
+		if !ok {
+			dist, parent, parentEdge := g.Dijkstra(d.Src)
+			tr = spt{dist, parent, parentEdge}
+			cache[d.Src] = tr
+		}
+		if math.IsInf(tr.dist[d.Dst], 1) {
+			res.Dropped += d.Volume
+			continue
+		}
+		// Bottleneck along path.
+		admit := d.Volume
+		hops := 0
+		for v := d.Dst; v != d.Src; v = tr.parent[v] {
+			if r := remaining[tr.parentEdge[v]]; r < admit {
+				admit = r
+			}
+			hops++
+		}
+		if admit < 0 {
+			admit = 0
+		}
+		for v := d.Dst; v != d.Src; v = tr.parent[v] {
+			remaining[tr.parentEdge[v]] -= admit
+			res.Load[tr.parentEdge[v]] += admit
+		}
+		res.Delivered += admit
+		res.Dropped += d.Volume - admit
+		if admit > 0 {
+			totalW += admit * tr.dist[d.Dst]
+			totalHops += admit * float64(hops)
+		}
+	}
+	if res.Delivered > 0 {
+		res.AvgPathWeight = totalW / res.Delivered
+		res.AvgHops = totalHops / res.Delivered
+	}
+	res.MaxUtilization = maxUtilization(g, res.Load)
+	return res, nil
+}
+
+// PathStretch returns the demand-weighted mean ratio of routed path
+// weight to straight-line (Euclidean) distance between endpoints, a
+// geographic efficiency measure. Demands between co-located or
+// disconnected endpoints are skipped.
+func PathStretch(g *graph.Graph, demands []Demand) float64 {
+	totalVol := 0.0
+	total := 0.0
+	bySrc := map[int][]Demand{}
+	for _, d := range demands {
+		bySrc[d.Src] = append(bySrc[d.Src], d)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	for _, s := range srcs {
+		dist, _, _ := g.Dijkstra(s)
+		ns := g.Node(s)
+		for _, d := range bySrc[s] {
+			nd := g.Node(d.Dst)
+			straight := math.Hypot(ns.X-nd.X, ns.Y-nd.Y)
+			if straight == 0 || math.IsInf(dist[d.Dst], 1) || d.Volume <= 0 {
+				continue
+			}
+			total += d.Volume * dist[d.Dst] / straight
+			totalVol += d.Volume
+		}
+	}
+	if totalVol == 0 {
+		return 0
+	}
+	return total / totalVol
+}
+
+func maxUtilization(g *graph.Graph, load []float64) float64 {
+	max := 0.0
+	for i, l := range load {
+		if l <= 0 {
+			continue
+		}
+		cap := g.Edge(i).Capacity
+		if cap <= 0 {
+			return math.Inf(1)
+		}
+		if u := l / cap; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+func checkDemands(g *graph.Graph, demands []Demand) error {
+	n := g.NumNodes()
+	for i, d := range demands {
+		if d.Src < 0 || d.Src >= n || d.Dst < 0 || d.Dst >= n {
+			return fmt.Errorf("routing: demand %d references missing node (%d->%d, n=%d)", i, d.Src, d.Dst, n)
+		}
+		if d.Src == d.Dst {
+			return fmt.Errorf("routing: demand %d is a self-loop at node %d", i, d.Src)
+		}
+		if d.Volume < 0 {
+			return fmt.Errorf("routing: demand %d has negative volume", i)
+		}
+	}
+	return nil
+}

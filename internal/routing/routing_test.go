@@ -1,0 +1,197 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// diamond builds a 4-node graph with two parallel 2-hop routes of
+// different weights between node 0 and node 3.
+//
+//	0 --1-- 1 --1-- 3     (short route, capacity 5 per edge)
+//	0 --2-- 2 --2-- 3     (long route, capacity 100 per edge)
+func diamond() *graph.Graph {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 5})
+	g.AddEdge(graph.Edge{U: 1, V: 3, Weight: 1, Capacity: 5})
+	g.AddEdge(graph.Edge{U: 0, V: 2, Weight: 2, Capacity: 100})
+	g.AddEdge(graph.Edge{U: 2, V: 3, Weight: 2, Capacity: 100})
+	return g
+}
+
+func TestRouteShortestPathsPicksShortRoute(t *testing.T) {
+	g := diamond()
+	res, err := RouteShortestPaths(g, []Demand{{Src: 0, Dst: 3, Volume: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 10 || res.Dropped != 0 {
+		t.Fatalf("delivered %v dropped %v", res.Delivered, res.Dropped)
+	}
+	if res.Load[0] != 10 || res.Load[1] != 10 {
+		t.Fatalf("short route loads = %v", res.Load)
+	}
+	if res.Load[2] != 0 || res.Load[3] != 0 {
+		t.Fatal("long route should carry nothing")
+	}
+	if res.AvgPathWeight != 2 || res.AvgHops != 2 {
+		t.Fatalf("path weight %v hops %v, want 2/2", res.AvgPathWeight, res.AvgHops)
+	}
+	// 10 over capacity 5 ⇒ utilization 2.
+	if res.MaxUtilization != 2 {
+		t.Fatalf("max utilization = %v, want 2", res.MaxUtilization)
+	}
+}
+
+func TestRouteShortestPathsDisconnected(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	res, err := RouteShortestPaths(g, []Demand{{Src: 0, Dst: 1, Volume: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Dropped != 3 {
+		t.Fatalf("delivered %v dropped %v", res.Delivered, res.Dropped)
+	}
+}
+
+func TestRouteShortestPathsZeroCapacityUtilization(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 0})
+	res, err := RouteShortestPaths(g, []Demand{{Src: 0, Dst: 1, Volume: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.MaxUtilization, 1) {
+		t.Fatal("loaded zero-capacity edge should give +Inf utilization")
+	}
+}
+
+func TestRouteCapacitatedAdmitsUpToBottleneck(t *testing.T) {
+	g := diamond()
+	res, err := RouteCapacitated(g, []Demand{{Src: 0, Dst: 3, Volume: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shortest route bottleneck is 5; remainder is dropped (greedy, no
+	// rerouting).
+	if res.Delivered != 5 || res.Dropped != 5 {
+		t.Fatalf("delivered %v dropped %v, want 5/5", res.Delivered, res.Dropped)
+	}
+	if res.MaxUtilization > 1+1e-9 {
+		t.Fatalf("capacitated routing exceeded capacity: %v", res.MaxUtilization)
+	}
+}
+
+func TestRouteCapacitatedOrderMatters(t *testing.T) {
+	g := diamond()
+	demands := []Demand{
+		{Src: 0, Dst: 3, Volume: 5},
+		{Src: 0, Dst: 1, Volume: 5},
+	}
+	res, err := RouteCapacitated(g, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First demand fills 0-1; second gets nothing on that edge.
+	if res.Delivered != 5 {
+		t.Fatalf("delivered %v, want 5", res.Delivered)
+	}
+}
+
+func TestRouteCapacitatedPartialDelivery(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 3})
+	res, err := RouteCapacitated(g, []Demand{{Src: 0, Dst: 1, Volume: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 || res.Dropped != 7 {
+		t.Fatalf("delivered %v dropped %v", res.Delivered, res.Dropped)
+	}
+}
+
+func TestDemandValidation(t *testing.T) {
+	g := diamond()
+	cases := [][]Demand{
+		{{Src: -1, Dst: 1, Volume: 1}},
+		{{Src: 0, Dst: 9, Volume: 1}},
+		{{Src: 2, Dst: 2, Volume: 1}},
+		{{Src: 0, Dst: 1, Volume: -1}},
+	}
+	for i, ds := range cases {
+		if _, err := RouteShortestPaths(g, ds); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+		if _, err := RouteCapacitated(g, ds); err == nil {
+			t.Fatalf("capacitated case %d should error", i)
+		}
+	}
+}
+
+func TestZeroVolumeIgnored(t *testing.T) {
+	g := diamond()
+	res, err := RouteShortestPaths(g, []Demand{{Src: 0, Dst: 3, Volume: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Dropped != 0 {
+		t.Fatal("zero-volume demand should be a no-op")
+	}
+}
+
+func TestPathStretch(t *testing.T) {
+	// Straight line 0-(0,0) to 1-(1,0) but routed via detour node at
+	// (0.5, 0.5): path weight ~1.414, straight 1.0.
+	g := graph.New(3)
+	g.AddNode(graph.Node{X: 0, Y: 0})
+	g.AddNode(graph.Node{X: 1, Y: 0})
+	g.AddNode(graph.Node{X: 0.5, Y: 0.5})
+	g.AddEdge(graph.Edge{U: 0, V: 2})
+	g.AddEdge(graph.Edge{U: 2, V: 1})
+	g.EuclideanWeights()
+	s := PathStretch(g, []Demand{{Src: 0, Dst: 1, Volume: 1}})
+	want := math.Sqrt2
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("stretch = %v, want %v", s, want)
+	}
+}
+
+func TestPathStretchSkipsDegenerate(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{X: 0.5, Y: 0.5})
+	g.AddNode(graph.Node{X: 0.5, Y: 0.5}) // co-located
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1})
+	if s := PathStretch(g, []Demand{{Src: 0, Dst: 1, Volume: 1}}); s != 0 {
+		t.Fatalf("degenerate stretch = %v, want 0", s)
+	}
+}
+
+func TestMultiSourceLoadsAccumulate(t *testing.T) {
+	g := diamond()
+	res, err := RouteShortestPaths(g, []Demand{
+		{Src: 0, Dst: 3, Volume: 2},
+		{Src: 3, Dst: 0, Volume: 3},
+		{Src: 1, Dst: 0, Volume: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 6 {
+		t.Fatalf("delivered = %v", res.Delivered)
+	}
+	// Edge 0 (0-1) carries 2 + 3 + 1 = 6.
+	if res.Load[0] != 6 {
+		t.Fatalf("edge 0 load = %v, want 6", res.Load[0])
+	}
+}

@@ -1,0 +1,26 @@
+package traffic
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// ArrivalPoints draws n arrival locations from the geography: each point
+// picks a city with probability proportional to population, then
+// scatters around it with the given Gaussian spread. This is the §2.1
+// economic reality ("most customers reside in the big cities") packaged
+// as an arrival process for the HOT growth models.
+func ArrivalPoints(g *Geography, n int, spread float64, seed int64) []geom.Point {
+	r := rng.New(seed)
+	weights := make([]float64, len(g.Cities))
+	for i, c := range g.Cities {
+		weights[i] = c.Population
+	}
+	out := make([]geom.Point, n)
+	for i := range out {
+		ci := rng.WeightedChoice(r, weights)
+		pts := g.Region.GaussianCluster(r, g.Cities[ci].Loc, spread, 1)
+		out[i] = pts[0]
+	}
+	return out
+}

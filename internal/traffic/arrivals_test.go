@@ -1,0 +1,47 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func TestArrivalPointsCount(t *testing.T) {
+	g := testGeo(t, 10, 20)
+	pts := ArrivalPoints(g, 500, 0.02, 1)
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !g.Region.Contains(p) {
+			t.Fatal("arrival outside region")
+		}
+	}
+}
+
+func TestArrivalPointsTrackPopulation(t *testing.T) {
+	g := testGeo(t, 8, 21)
+	pts := ArrivalPoints(g, 2000, 0.01, 2)
+	// Count arrivals within 0.05 of the biggest vs the smallest city.
+	big, small := 0, 0
+	for _, p := range pts {
+		if p.Dist(g.Cities[0].Loc) < 0.05 {
+			big++
+		}
+		if p.Dist(g.Cities[len(g.Cities)-1].Loc) < 0.05 {
+			small++
+		}
+	}
+	if big <= small {
+		t.Fatalf("big city drew %d arrivals, small %d — expected concentration", big, small)
+	}
+}
+
+func TestArrivalPointsDeterministic(t *testing.T) {
+	g := testGeo(t, 5, 22)
+	a := ArrivalPoints(g, 50, 0.02, 7)
+	b := ArrivalPoints(g, 50, 0.02, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrivals not deterministic")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func ba(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMeasureSane(t *testing.T) {
+	g := ba(t, 300, 2, 1)
+	v := Measure(g, 1)
+	if v.MeanDegree <= 0 || v.MeanDegree > 10 {
+		t.Fatalf("mean degree %v implausible", v.MeanDegree)
+	}
+	if v.DegreeCV <= 0 {
+		t.Fatal("degree CV should be positive for BA")
+	}
+	if len(v.Values()) != len(v.Names()) {
+		t.Fatal("Values/Names length mismatch")
+	}
+}
+
+func TestCompareSelfIsNearZero(t *testing.T) {
+	g := ba(t, 300, 2, 2)
+	c := Compare(g, g, 7)
+	if c.Distance > 1e-9 {
+		t.Fatalf("self-comparison distance = %v, want ~0", c.Distance)
+	}
+	if c.DegreeKS != 0 {
+		t.Fatalf("self-comparison degree KS = %v, want 0", c.DegreeKS)
+	}
+}
+
+func TestCompareDetectsStructureDifference(t *testing.T) {
+	// Same degree-ish density, different structure: BA vs ER.
+	baG := ba(t, 400, 2, 3)
+	erG, err := gen.ErdosRenyiGNM(400, baG.NumEdges(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(baG, erG, 7)
+	if c.Distance < 0.1 {
+		t.Fatalf("BA vs ER distance = %v, expected substantial", c.Distance)
+	}
+	if c.DegreeKS <= 0 {
+		t.Fatal("BA vs ER should differ in degrees too")
+	}
+}
+
+func TestCompareTwoBASeedsCloserThanBAvsER(t *testing.T) {
+	// The paper's validation logic: two instances of the same mechanism
+	// should be closer than instances of different mechanisms.
+	a := ba(t, 400, 2, 4)
+	b := ba(t, 400, 2, 5)
+	er, err := gen.ErdosRenyiGNM(400, a.NumEdges(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := Compare(a, b, 9).Distance
+	diff := Compare(a, er, 9).Distance
+	if same >= diff {
+		t.Fatalf("same-mechanism distance %v not below cross-mechanism %v", same, diff)
+	}
+}
+
+func TestComparisonFormat(t *testing.T) {
+	g := ba(t, 100, 2, 6)
+	out := Compare(g, g, 1).Format()
+	for _, want := range []string{"metric", "distance", "degreeKS", "clustering"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegreeKSBounds(t *testing.T) {
+	if ks := DegreeKS(nil, []int{1}); ks != 1 {
+		t.Fatalf("empty-vs-nonempty KS = %v, want 1", ks)
+	}
+	if ks := DegreeKS([]int{1, 2, 3}, []int{1, 2, 3}); ks != 0 {
+		t.Fatalf("identical KS = %v, want 0", ks)
+	}
+	ks := DegreeKS([]int{1, 1, 1}, []int{10, 10, 10})
+	if math.Abs(ks-1) > 1e-12 {
+		t.Fatalf("disjoint KS = %v, want 1", ks)
+	}
+}
+
+func TestBootstrapMetricInterval(t *testing.T) {
+	g := ba(t, 200, 2, 7)
+	iv := ResilienceCI(g, 20, 11)
+	if iv.Low > iv.Mean || iv.Mean > iv.High {
+		t.Fatalf("interval ordering broken: %+v", iv)
+	}
+	if iv.Low < 0 || iv.High > 1 {
+		t.Fatalf("resilience CI out of [0,1]: %+v", iv)
+	}
+	if !iv.Contains(iv.Mean) {
+		t.Fatal("interval should contain its mean")
+	}
+}
+
+func TestBootstrapDegenerateParams(t *testing.T) {
+	g := ba(t, 100, 1, 8)
+	iv := BootstrapMetric(g, func(_ *graph.Graph, _ int64) float64 { return 0.5 }, 1, 2.0, 1)
+	if iv.Mean != 0.5 || iv.Low != 0.5 || iv.High != 0.5 {
+		t.Fatalf("constant metric CI = %+v", iv)
+	}
+}
