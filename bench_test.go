@@ -13,12 +13,14 @@ package hotgen
 // prints, so `-bench E2 -v` doubles as a quick reproduction check.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/robust"
 	"repro/internal/routing"
@@ -206,6 +208,126 @@ func BenchmarkRobustnessSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := robust.Sweep(g, robust.DegreeAttack, fracs, 1, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- CSR kernel micro-benchmarks ----------------------------------------
+//
+// These pairs quantify the two tentpole effects: the CSR layout vs the
+// slice-of-slices adjacency, and pooled workspaces vs per-call
+// allocation. The pooled variants must report 0 allocs/op.
+
+// benchGraph is a 4k-node weighted graph shared by the kernel benches.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(4000, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range g.Edges() {
+		g.Edge(i).Weight = float64(i%17) + 1
+	}
+	return g
+}
+
+func BenchmarkDijkstraAdjacencyAlloc(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i % g.NumNodes())
+	}
+}
+
+func BenchmarkDijkstraCSRPooled(b *testing.B) {
+	g := benchGraph(b)
+	c := g.Freeze()
+	ws := graph.GetWorkspace(c.NumNodes())
+	defer ws.Release()
+	c.Dijkstra(ws, 0) // warm the heap buffers before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Dijkstra(ws, i%c.NumNodes())
+	}
+}
+
+func BenchmarkBFSAdjacencyAlloc(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.NumNodes())
+	}
+}
+
+func BenchmarkBFSCSRPooled(b *testing.B) {
+	g := benchGraph(b)
+	c := g.Freeze()
+	ws := graph.GetWorkspace(c.NumNodes())
+	defer ws.Release()
+	c.BFS(ws, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BFS(ws, i%c.NumNodes())
+	}
+}
+
+// --- Worker-pool scaling benches ----------------------------------------
+//
+// Sequential vs all-cores variants of the profile suite and a full
+// experiment; on a multi-core runner the parallel variants should scale
+// with GOMAXPROCS while producing byte-identical results (asserted by
+// TestWorkersDeterminism). The profile pair is the clean comparison: its
+// workers value reaches every metric family. The E11 pair varies only
+// the replication fan-out — routing parallelism inside each policy is
+// always on — so its ratio understates the kernel's scaling.
+
+func BenchmarkProfileSequential(b *testing.B) {
+	g, err := gen.BarabasiAlbert(800, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComputeProfileParallel(g, 1, 1)
+	}
+}
+
+func BenchmarkProfileParallel(b *testing.B) {
+	g, err := gen.BarabasiAlbert(800, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComputeProfileParallel(g, 1, runtime.NumCPU())
+	}
+}
+
+func BenchmarkE11Workers1(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = 1
+	runWorkersExperiment(b, opts)
+}
+
+func BenchmarkE11WorkersAll(b *testing.B) {
+	opts := benchOpts()
+	opts.Workers = runtime.NumCPU()
+	runWorkersExperiment(b, opts)
+}
+
+func runWorkersExperiment(b *testing.B, opts experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E11Performance(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
 		}
 	}
 }

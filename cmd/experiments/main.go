@@ -8,6 +8,7 @@
 //	experiments -only E2,E3      # a subset
 //	experiments -scale 0.2       # smaller/faster
 //	experiments -seed 7 -reps 3
+//	experiments -workers 1       # one replication at a time (tables are identical for any -workers)
 package main
 
 import (
@@ -22,10 +23,11 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7); empty = all")
-		seed  = flag.Int64("seed", 42, "master seed")
-		scale = flag.Float64("scale", 1.0, "instance scale in (0,1]")
-		reps  = flag.Int("reps", 0, "Monte Carlo replications (0 = per-experiment default)")
+		only    = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E7); empty = all")
+		seed    = flag.Int64("seed", 42, "master seed")
+		scale   = flag.Float64("scale", 1.0, "instance scale in (0,1]")
+		reps    = flag.Int("reps", 0, "Monte Carlo replications (0 = per-experiment default)")
+		workers = flag.Int("workers", 0, "worker goroutines for replication fan-out (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -35,7 +37,7 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers}
 	failed := false
 	for _, r := range experiments.All() {
 		if len(want) > 0 && !want[r.ID] {

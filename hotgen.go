@@ -20,6 +20,14 @@
 //     paper argues against (§1) — see ComputeProfile and the Gen*
 //     functions.
 //
+// Under all of it sits a high-performance graph kernel: Freeze snapshots
+// a Graph into an immutable CSR (compressed sparse row) layout, and
+// pooled Workspace buffers make the Dijkstra/BFS/eccentricity kernels
+// allocation-free and safe to fan out across goroutines. The routing,
+// metric, robustness and experiment layers all run on this kernel, with
+// every parallel reduction performed in a fixed order so results are
+// byte-identical at any worker count (see ExperimentOptions.Workers).
+//
 // Everything is deterministic given explicit seeds and uses only the Go
 // standard library.
 package hotgen
@@ -71,6 +79,24 @@ const (
 
 // NewGraph returns an empty graph with a capacity hint.
 func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Compute kernel: immutable snapshots plus pooled scratch buffers.
+type (
+	// CSR is an immutable compressed-sparse-row snapshot of a Graph,
+	// produced by Graph.Freeze; its traversal kernels are safe to share
+	// across goroutines.
+	CSR = graph.CSR
+	// Workspace owns the scratch buffers (distances, parents, heap,
+	// queue, visited epochs) one goroutine's kernel calls run in.
+	Workspace = graph.Workspace
+)
+
+// GetWorkspace takes a pooled Workspace sized for n-node graphs; pair
+// with its Release method.
+func GetWorkspace(n int) *Workspace { return graph.GetWorkspace(n) }
+
+// NewWorkspace returns an unpooled Workspace sized for n-node graphs.
+func NewWorkspace(n int) *Workspace { return graph.NewWorkspace(n) }
 
 // UnitSquare is the canonical generation region.
 var UnitSquare = geom.UnitSquare

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestWorkersDeterminism asserts the tentpole contract of the parallel
+// harness: every experiment's formatted table is byte-identical whether
+// replications run on one goroutine or eight. Run under -race this also
+// exercises every parallel fan-out path for data races.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			seq := Options{Seed: 42, Scale: 0.1, Reps: 2, Workers: 1}
+			parl := seq
+			parl.Workers = 8
+			tblSeq, err := r.Run(seq)
+			if err != nil {
+				t.Fatalf("%s Workers=1 failed: %v", r.ID, err)
+			}
+			tblPar, err := r.Run(parl)
+			if err != nil {
+				t.Fatalf("%s Workers=8 failed: %v", r.ID, err)
+			}
+			a, b := tblSeq.Format(), tblPar.Format()
+			if a != b {
+				t.Fatalf("%s output differs between Workers=1 and Workers=8:\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s", r.ID, a, b)
+			}
+		})
+	}
+}

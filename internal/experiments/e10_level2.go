@@ -28,49 +28,73 @@ func E10Level2Rings(opts Options) (*Table, error) {
 			"maxDeg(avg)", "LCC@10%fail",
 		},
 	}
-	var treeCost, ringCost, treeDeg, ringDeg, treeLCC, ringLCC float64
-	treeIsTree, ring2EC := 0, 0
-	for rep := 0; rep < reps; rep++ {
+	// One unit per replication; reduced in rep order below.
+	type repStat struct {
+		treeCost, ringCost float64
+		treeDeg, ringDeg   float64
+		treeLCC, ringLCC   float64
+		treeIsTree         bool
+		ring2EC            bool
+	}
+	repStats, err := mapUnits(opts, reps, func(rep int) (repStat, error) {
 		in, err := access.RandomInstance(access.InstanceConfig{
 			N: n, Seed: rng.Derive(opts.Seed, rep),
 			DemandMin: 1, DemandMax: 8, RootAtCenter: true,
 		})
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
 		rep2, err := access.CompareRingVsTree(in, rng.Derive(opts.Seed, 100+rep), ringSize)
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
-		treeCost += rep2.TreeCost
-		ringCost += rep2.RingCost
-		treeDeg += float64(rep2.TreeMaxDegree)
-		ringDeg += float64(rep2.RingMaxDegree)
-		if rep2.TreeIsTree {
-			treeIsTree++
-		}
-		if rep2.Ring2EdgeConn {
-			ring2EC++
+		rs := repStat{
+			treeCost:   rep2.TreeCost,
+			ringCost:   rep2.RingCost,
+			treeDeg:    float64(rep2.TreeMaxDegree),
+			ringDeg:    float64(rep2.RingMaxDegree),
+			treeIsTree: rep2.TreeIsTree,
+			ring2EC:    rep2.Ring2EdgeConn,
 		}
 		// Survivability under 10% random failure.
 		tree, err := access.MMPIncremental(in, rng.Derive(opts.Seed, 100+rep))
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
 		ring, err := access.RingMetro(in, ringSize)
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
 		tc, err := robust.Sweep(tree.Graph, robust.RandomFailure, []float64{0.1}, 3, opts.Seed)
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
 		rc, err := robust.Sweep(ring.Graph, robust.RandomFailure, []float64{0.1}, 3, opts.Seed)
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
-		treeLCC += tc[0].LCCFrac
-		ringLCC += rc[0].LCCFrac
+		rs.treeLCC = tc[0].LCCFrac
+		rs.ringLCC = rc[0].LCCFrac
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var treeCost, ringCost, treeDeg, ringDeg, treeLCC, ringLCC float64
+	treeIsTree, ring2EC := 0, 0
+	for _, rs := range repStats {
+		treeCost += rs.treeCost
+		ringCost += rs.ringCost
+		treeDeg += rs.treeDeg
+		ringDeg += rs.ringDeg
+		treeLCC += rs.treeLCC
+		ringLCC += rs.ringLCC
+		if rs.treeIsTree {
+			treeIsTree++
+		}
+		if rs.ring2EC {
+			ring2EC++
+		}
 	}
 	rf := float64(reps)
 	t.AddRow("p2p cables (mmp tree)",

@@ -48,7 +48,11 @@ func E11Performance(opts Options) (*Table, error) {
 		{"random", true, "perf-mesh", true},
 		{"random", true, "cost-tree", false},
 	}
-	for _, p := range policies {
+	// Each policy designs, provisions, and routes an independent ISP, so
+	// the whole sweep fans out across the worker pool; rows are emitted
+	// in policy order.
+	rows, err := mapUnits(opts, len(policies), func(pi int) ([]string, error) {
+		p := policies[pi]
 		subGeo, cityOf := placementGeography(geo, 8, p.random, opts.Seed)
 		cfg := isp.Config{
 			Geography:             subGeo,
@@ -99,9 +103,15 @@ func E11Performance(opts Options) (*Table, error) {
 		if captured > 0 {
 			delivFrac = mm.Throughput / captured
 		}
-		t.AddRow(p.placeName, p.bbName, d(len(des.BackboneEdges)),
-			f3(captured/totalDemand), f3(mm.Throughput), f3(delivFrac),
-			f3(sp.AvgPathWeight), f3(mm.JainIndex))
+		return []string{p.placeName, p.bbName, d(len(des.BackboneEdges)),
+			f3(captured / totalDemand), f3(mm.Throughput), f3(delivFrac),
+			f3(sp.AvgPathWeight), f3(mm.JainIndex)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"demandCaptured: fraction of the national gravity demand whose endpoints both have a POP — population-driven placement captures the big-city traffic",

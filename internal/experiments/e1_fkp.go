@@ -37,27 +37,52 @@ func E1FKPSweep(opts Options) (*Table, error) {
 		{core.RegimeAlpha(core.RegimeExponential, n), "exponential (alpha >> sqrt n)"},
 		{4 * float64(n), "exponential (alpha >> sqrt n)"},
 	}
-	for _, pt := range points {
+	// One unit per (alpha point, replication), fanned across the worker
+	// pool; reduction below walks the ordered slice, so the table is
+	// identical for any Workers value.
+	type repStat struct {
+		isTree   bool
+		class    core.TopologyClass
+		starFrac float64
+		maxDeg   float64
+		plAlpha  float64
+		tail     stats.TailKind
+	}
+	repStats, err := mapUnits(opts, len(points)*reps, func(u int) (repStat, error) {
+		pt, rep := points[u/reps], u%reps
+		g, err := core.FKP(core.FKPConfig{
+			N: n, Alpha: pt.alpha, Seed: rng.Derive(opts.Seed, rep),
+		})
+		if err != nil {
+			return repStat{}, err
+		}
+		ds := stats.AnalyzeDegrees(g)
+		return repStat{
+			isTree:   g.IsTree(),
+			class:    core.Classify(g),
+			starFrac: ds.TopDegreeFrac,
+			maxDeg:   float64(ds.MaxDegree),
+			plAlpha:  ds.Classification.PowerLaw.Alpha,
+			tail:     ds.Classification.Kind,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
 		classCount := map[core.TopologyClass]int{}
 		var starFrac, maxDeg, plAlpha float64
 		tails := map[stats.TailKind]int{}
 		allTrees := true
-		for rep := 0; rep < reps; rep++ {
-			g, err := core.FKP(core.FKPConfig{
-				N: n, Alpha: pt.alpha, Seed: rng.Derive(opts.Seed, rep),
-			})
-			if err != nil {
-				return nil, err
-			}
-			if !g.IsTree() {
+		for _, rs := range repStats[pi*reps : (pi+1)*reps] {
+			if !rs.isTree {
 				allTrees = false
 			}
-			ds := stats.AnalyzeDegrees(g)
-			classCount[core.Classify(g)]++
-			starFrac += ds.TopDegreeFrac
-			maxDeg += float64(ds.MaxDegree)
-			plAlpha += ds.Classification.PowerLaw.Alpha
-			tails[ds.Classification.Kind]++
+			classCount[rs.class]++
+			starFrac += rs.starFrac
+			maxDeg += rs.maxDeg
+			plAlpha += rs.plAlpha
+			tails[rs.tail]++
 		}
 		rf := float64(reps)
 		t.AddRow(
@@ -69,18 +94,23 @@ func E1FKPSweep(opts Options) (*Table, error) {
 		)
 	}
 	// Ablation: centrality definition at the power-law alpha.
-	for _, mode := range []core.CentralityMode{core.HopsToRoot, core.DistToRoot} {
+	modes := []core.CentralityMode{core.HopsToRoot, core.DistToRoot}
+	modeNotes, err := mapUnits(opts, len(modes), func(mi int) (string, error) {
 		g, err := core.FKP(core.FKPConfig{
-			N: n, Alpha: 8, Seed: opts.Seed, Centrality: mode,
+			N: n, Alpha: 8, Seed: opts.Seed, Centrality: modes[mi],
 		})
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		ds := stats.AnalyzeDegrees(g)
-		t.Notes = append(t.Notes, fmt.Sprintf(
+		return fmt.Sprintf(
 			"ablation centrality=%s @ alpha=8: class=%s maxDeg=%d tail=%s",
-			mode, core.Classify(g), ds.MaxDegree, ds.Classification.Kind))
+			modes[mi], core.Classify(g), ds.MaxDegree, ds.Classification.Kind), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Notes = append(t.Notes, modeNotes...)
 	// Ablation: router port cap (technology constraint, §2.1).
 	g, err := core.FKP(core.FKPConfig{N: n, Alpha: 0.3, Seed: opts.Seed, MaxDegree: 32})
 	if err != nil {

@@ -33,36 +33,56 @@ func E2BuyAtBulk(opts Options) (*Table, error) {
 			return access.SampleAndAugment(in, seed, 0.25)
 		}},
 	}
-	for _, a := range algos {
+	// One unit per (algorithm, replication); reduced in order below.
+	type repStat struct {
+		tree                     bool
+		tail                     stats.TailKind
+		maxDeg, lambda, ks, leaf float64
+	}
+	repStats, err := mapUnits(opts, len(algos)*reps, func(u int) (repStat, error) {
+		a, rep := algos[u/reps], u%reps
+		in, err := access.RandomInstance(access.InstanceConfig{
+			N: n, Seed: rng.Derive(opts.Seed, rep),
+			DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+		})
+		if err != nil {
+			return repStat{}, err
+		}
+		net, err := a.run(in, rng.Derive(opts.Seed, 100+rep))
+		if err != nil {
+			return repStat{}, err
+		}
+		ds := stats.AnalyzeDegrees(net.Graph)
+		fit := stats.FitExponential(net.Graph.Degrees(), 1)
+		return repStat{
+			tree:   net.Graph.IsTree(),
+			tail:   ds.Classification.Kind,
+			maxDeg: float64(ds.MaxDegree),
+			lambda: fit.Lambda,
+			ks:     fit.KS,
+			leaf:   float64(len(net.Graph.Leaves())) / float64(net.Graph.NumNodes()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, a := range algos {
 		trees, expTail, plTail := 0, 0, 0
 		var maxDeg, lambda, ks, leafFrac float64
-		for rep := 0; rep < reps; rep++ {
-			in, err := access.RandomInstance(access.InstanceConfig{
-				N: n, Seed: rng.Derive(opts.Seed, rep),
-				DemandMin: 1, DemandMax: 16, RootAtCenter: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			net, err := a.run(in, rng.Derive(opts.Seed, 100+rep))
-			if err != nil {
-				return nil, err
-			}
-			if net.Graph.IsTree() {
+		for _, rs := range repStats[ai*reps : (ai+1)*reps] {
+			if rs.tree {
 				trees++
 			}
-			ds := stats.AnalyzeDegrees(net.Graph)
-			switch ds.Classification.Kind {
+			switch rs.tail {
 			case stats.TailExponential:
 				expTail++
 			case stats.TailPowerLaw:
 				plTail++
 			}
-			maxDeg += float64(ds.MaxDegree)
-			fit := stats.FitExponential(net.Graph.Degrees(), 1)
-			lambda += fit.Lambda
-			ks += fit.KS
-			leafFrac += float64(len(net.Graph.Leaves())) / float64(net.Graph.NumNodes())
+			maxDeg += rs.maxDeg
+			lambda += rs.lambda
+			ks += rs.ks
+			leafFrac += rs.leaf
 		}
 		rf := float64(reps)
 		t.AddRow(a.name,
@@ -92,39 +112,57 @@ func E3CostRatios(opts Options) (*Table, error) {
 		},
 	}
 	sizes := []int{opts.scale(200), opts.scale(500), opts.scale(1000), opts.scale(2000)}
-	for _, n := range sizes {
+	// One unit per (instance size, replication); reduced in order below.
+	type repStat struct {
+		rMMP, rSA, rMST, rStar float64
+		win                    bool
+	}
+	repStats, err := mapUnits(opts, len(sizes)*reps, func(u int) (repStat, error) {
+		n, rep := sizes[u/reps], u%reps
+		in, err := access.RandomInstance(access.InstanceConfig{
+			N: n, Seed: rng.Derive(opts.Seed, n*31+rep),
+			DemandMin: 1, DemandMax: 16, RootAtCenter: true,
+		})
+		if err != nil {
+			return repStat{}, err
+		}
+		lb := access.LowerBound(in)
+		mmp, err := access.MMPIncremental(in, rng.Derive(opts.Seed, rep))
+		if err != nil {
+			return repStat{}, err
+		}
+		sa, err := access.SampleAndAugment(in, rng.Derive(opts.Seed, rep+50), 0.25)
+		if err != nil {
+			return repStat{}, err
+		}
+		mst, err := access.SingleCableMST(in)
+		if err != nil {
+			return repStat{}, err
+		}
+		star, err := access.DirectStar(in)
+		if err != nil {
+			return repStat{}, err
+		}
+		return repStat{
+			rMMP:  mmp.TotalCost() / lb,
+			rSA:   sa.TotalCost() / lb,
+			rMST:  mst.TotalCost() / lb,
+			rStar: star.TotalCost() / lb,
+			win:   mmp.TotalCost() < mst.TotalCost() && mmp.TotalCost() < star.TotalCost(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range sizes {
 		var rMMP, rSA, rMST, rStar float64
 		wins := 0
-		for rep := 0; rep < reps; rep++ {
-			in, err := access.RandomInstance(access.InstanceConfig{
-				N: n, Seed: rng.Derive(opts.Seed, n*31+rep),
-				DemandMin: 1, DemandMax: 16, RootAtCenter: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			lb := access.LowerBound(in)
-			mmp, err := access.MMPIncremental(in, rng.Derive(opts.Seed, rep))
-			if err != nil {
-				return nil, err
-			}
-			sa, err := access.SampleAndAugment(in, rng.Derive(opts.Seed, rep+50), 0.25)
-			if err != nil {
-				return nil, err
-			}
-			mst, err := access.SingleCableMST(in)
-			if err != nil {
-				return nil, err
-			}
-			star, err := access.DirectStar(in)
-			if err != nil {
-				return nil, err
-			}
-			rMMP += mmp.TotalCost() / lb
-			rSA += sa.TotalCost() / lb
-			rMST += mst.TotalCost() / lb
-			rStar += star.TotalCost() / lb
-			if mmp.TotalCost() < mst.TotalCost() && mmp.TotalCost() < star.TotalCost() {
+		for _, rs := range repStats[si*reps : (si+1)*reps] {
+			rMMP += rs.rMMP
+			rSA += rs.rSA
+			rMST += rs.rMST
+			rStar += rs.rStar
+			if rs.win {
 				wins++
 			}
 		}
@@ -141,13 +179,18 @@ func E3CostRatios(opts Options) (*Table, error) {
 		return nil, err
 	}
 	lb := access.LowerBound(in)
-	for _, p := range []float64{0.1, 0.25, 0.5} {
-		net, err := access.SampleAndAugment(in, opts.Seed, p)
+	ps := []float64{0.1, 0.25, 0.5}
+	notes, err := mapUnits(opts, len(ps), func(pi int) (string, error) {
+		net, err := access.SampleAndAugment(in, opts.Seed, ps[pi])
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		t.Notes = append(t.Notes, fmt.Sprintf(
-			"ablation sample-and-augment p=%.2f @ n=%d: cost/LB=%.2f", p, n, net.TotalCost()/lb))
+		return fmt.Sprintf(
+			"ablation sample-and-augment p=%.2f @ n=%d: cost/LB=%.2f", ps[pi], n, net.TotalCost()/lb), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Notes = append(t.Notes, notes...)
 	return t, nil
 }

@@ -49,22 +49,27 @@ func E4CostVsProfit(opts Options) (*Table, error) {
 		DemandMin:             1,
 		DemandMax:             8,
 	}
-	cost, err := isp.Build(base)
+	// Unit 0 is the cost-based build; the rest sweep the profit price.
+	// Each unit builds an independent ISP, so the whole sweep fans out.
+	prices := []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3, 1.0}
+	designs, err := mapUnits(opts, 1+len(prices), func(u int) (*isp.Design, error) {
+		cfg := base
+		if u > 0 {
+			cfg.Formulation = isp.ProfitBased
+			cfg.PricePerDemand = prices[u-1]
+		}
+		return isp.Build(cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
+	cost := designs[0]
 	t.AddRow("cost-based", "-", d(cost.CustomersServed),
 		f3(float64(cost.CustomersServed)/float64(cost.CustomersOffered)),
 		f3(cost.DemandServed/cost.DemandOffered),
 		f2(cost.AccessCost), "-", "-")
-	for _, price := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3, 1.0} {
-		cfg := base
-		cfg.Formulation = isp.ProfitBased
-		cfg.PricePerDemand = price
-		des, err := isp.Build(cfg)
-		if err != nil {
-			return nil, err
-		}
+	for pi, price := range prices {
+		des := designs[1+pi]
 		t.AddRow("profit-based", f4(price), d(des.CustomersServed),
 			f3(float64(des.CustomersServed)/float64(des.CustomersOffered)),
 			f3(des.DemandServed/des.DemandOffered),

@@ -86,11 +86,28 @@ func E7GeneratorComparison(opts Options) (*Table, error) {
 	}
 	entries = append(entries, entry{"transit-stub", ts})
 
-	for _, e := range entries {
-		prof := metrics.ComputeProfile(e.g, opts.Seed)
-		tail := stats.ClassifyTail(e.g.Degrees())
-		t.AddRow(e.name, d(prof.Edges), d(prof.MaxDegree), tail.Kind.String(),
-			f3(stats.ClusteringCoefficient(e.g)),
+	// Profile every generator concurrently; each profile itself fans its
+	// metric families out on the shared frozen snapshot of its graph.
+	type profiled struct {
+		prof  metrics.Profile
+		tail  string
+		clust float64
+	}
+	profs, err := mapUnits(opts, len(entries), func(i int) (profiled, error) {
+		g := entries[i].g
+		return profiled{
+			prof:  metrics.ComputeProfileParallel(g, opts.Seed, opts.Workers),
+			tail:  stats.ClassifyTail(g.Degrees()).Kind.String(),
+			clust: stats.ClusteringCoefficient(g),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		prof := profs[i].prof
+		t.AddRow(e.name, d(prof.Edges), d(prof.MaxDegree), profs[i].tail,
+			f3(profs[i].clust),
 			f3(prof.ExpansionAt3), f3(prof.Resilience),
 			f2(prof.Distortion), f2(prof.HierarchyDepth), f3(prof.SpectralGap))
 	}

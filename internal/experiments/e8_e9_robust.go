@@ -59,24 +59,36 @@ func E8Robustness(opts Options) (*Table, error) {
 	}
 	entries = append(entries, entry{"er(same density)", er})
 
-	for _, e := range entries {
-		fail, err := robust.Sweep(e.g, robust.RandomFailure, []float64{0.05}, trials, opts.Seed)
+	// Sweep the four topologies concurrently; each sweep additionally
+	// parallelizes its random-failure trials internally.
+	type sweeps struct {
+		fail, atk, gap, crit float64
+	}
+	rows, err := mapUnits(opts, len(entries), func(i int) (sweeps, error) {
+		g := entries[i].g
+		fail, err := robust.Sweep(g, robust.RandomFailure, []float64{0.05}, trials, opts.Seed)
 		if err != nil {
-			return nil, err
+			return sweeps{}, err
 		}
-		atk, err := robust.Sweep(e.g, robust.DegreeAttack, []float64{0.05}, 1, opts.Seed)
+		atk, err := robust.Sweep(g, robust.DegreeAttack, []float64{0.05}, 1, opts.Seed)
 		if err != nil {
-			return nil, err
+			return sweeps{}, err
 		}
-		gap, err := robust.AttackGap(e.g, robust.DegreeAttack, fracs, trials, opts.Seed)
+		gap, err := robust.AttackGap(g, robust.DegreeAttack, fracs, trials, opts.Seed)
 		if err != nil {
-			return nil, err
+			return sweeps{}, err
 		}
-		crit, err := robust.CriticalFraction(e.g, robust.DegreeAttack, 0.1, 25, 1, opts.Seed)
+		crit, err := robust.CriticalFraction(g, robust.DegreeAttack, 0.1, 25, 1, opts.Seed)
 		if err != nil {
-			return nil, err
+			return sweeps{}, err
 		}
-		t.AddRow(e.name, f3(fail[0].LCCFrac), f3(atk[0].LCCFrac), f3(gap), f3(crit))
+		return sweeps{fail: fail[0].LCCFrac, atk: atk[0].LCCFrac, gap: gap, crit: crit}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		t.AddRow(e.name, f3(rows[i].fail), f3(rows[i].atk), f3(rows[i].gap), f3(rows[i].crit))
 	}
 	t.Notes = append(t.Notes,
 		"attackGap: mean over fractions of LCC(random failure) - LCC(degree attack); larger = more hub-fragile",
@@ -97,35 +109,57 @@ func E9Redundancy(opts Options) (*Table, error) {
 			"stage", "tree", "2edge-conn", "edges(avg)", "leaves(avg)", "cost(avg)", "extraCost%",
 		},
 	}
-	var preEdges, preLeaves, preCost float64
-	var postEdges, postLeaves, postCost float64
-	preTrees, post2EC := 0, 0
-	for rep := 0; rep < reps; rep++ {
+	// One unit per replication; reduced in rep order below.
+	type repStat struct {
+		preTree                         bool
+		preEdges, preLeaves, preCost    float64
+		post2EC                         bool
+		postEdges, postLeaves, postCost float64
+	}
+	repStats, err := mapUnits(opts, reps, func(rep int) (repStat, error) {
 		in, err := access.RandomInstance(access.InstanceConfig{
 			N: n, Seed: rng.Derive(opts.Seed, rep),
 			DemandMin: 1, DemandMax: 8, RootAtCenter: true,
 		})
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
 		net, err := access.MMPIncremental(in, rng.Derive(opts.Seed, 100+rep))
 		if err != nil {
-			return nil, err
+			return repStat{}, err
 		}
-		if net.Graph.IsTree() {
+		rs := repStat{
+			preTree:   net.Graph.IsTree(),
+			preEdges:  float64(net.Graph.NumEdges()),
+			preLeaves: float64(len(net.Graph.Leaves())),
+			preCost:   net.TotalCost(),
+		}
+		access.AugmentTwoEdgeConnected(in, net)
+		rs.post2EC = net.Graph.IsTwoEdgeConnected()
+		rs.postEdges = float64(net.Graph.NumEdges())
+		rs.postLeaves = float64(len(net.Graph.Leaves()))
+		rs.postCost = net.TotalCost()
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var preEdges, preLeaves, preCost float64
+	var postEdges, postLeaves, postCost float64
+	preTrees, post2EC := 0, 0
+	for _, rs := range repStats {
+		if rs.preTree {
 			preTrees++
 		}
-		preEdges += float64(net.Graph.NumEdges())
-		preLeaves += float64(len(net.Graph.Leaves()))
-		preCost += net.TotalCost()
-
-		access.AugmentTwoEdgeConnected(in, net)
-		if net.Graph.IsTwoEdgeConnected() {
+		preEdges += rs.preEdges
+		preLeaves += rs.preLeaves
+		preCost += rs.preCost
+		if rs.post2EC {
 			post2EC++
 		}
-		postEdges += float64(net.Graph.NumEdges())
-		postLeaves += float64(len(net.Graph.Leaves()))
-		postCost += net.TotalCost()
+		postEdges += rs.postEdges
+		postLeaves += rs.postLeaves
+		postCost += rs.postCost
 	}
 	rf := float64(reps)
 	t.AddRow("tree (before)",

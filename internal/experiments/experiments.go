@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Options tune experiment scale. Scale 1.0 is the published size; tests
@@ -15,6 +17,11 @@ type Options struct {
 	Seed  int64
 	Scale float64 // 0 < Scale <= 1; 0 defaults to 1
 	Reps  int     // Monte Carlo replications; 0 defaults per experiment
+	// Workers bounds the goroutines used to fan replications and
+	// independent table rows out (<= 0 means GOMAXPROCS). Every
+	// experiment reduces per-rep results in a fixed order, so tables are
+	// byte-identical for any Workers value.
+	Workers int
 }
 
 func (o Options) scale(n int) int {
@@ -34,6 +41,27 @@ func (o Options) reps(def int) int {
 		return o.Reps
 	}
 	return def
+}
+
+// mapUnits runs fn for every unit index in [0, n) across the option's
+// worker pool and returns the results in index order. Each unit must be
+// independent and seeded only from its own index; the caller reduces the
+// ordered slice sequentially, which keeps every table byte-identical for
+// any Workers setting. On failure the lowest-index error is returned.
+func mapUnits[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := par.ForEachErr(o.Workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Table is one experiment's output.

@@ -1,0 +1,252 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a Graph: every
+// half-edge of node u lives in the contiguous range
+// [rowStart[u], rowStart[u+1]), with the neighbour id, the originating
+// edge index, and the edge weight stored in parallel flat arrays. The
+// layout is cache-friendly (one pointer dereference per traversal instead
+// of one per adjacency list) and safe for concurrent use: all traversal
+// kernels take a caller-owned Workspace and never mutate the CSR.
+//
+// Freeze a graph once, then fan any number of Dijkstra/BFS/eccentricity
+// calls out across goroutines, each with its own pooled Workspace. This is
+// the compute substrate under internal/routing, internal/metrics and
+// internal/robust.
+type CSR struct {
+	n        int
+	m        int
+	rowStart []int32
+	nbr      []int32
+	edgeID   []int32
+	weight   []float64
+}
+
+// Freeze builds a CSR snapshot of g. Later mutations of g (new nodes,
+// edges, or weight updates) are not reflected in the snapshot.
+func (g *Graph) Freeze() *CSR {
+	n := len(g.nodes)
+	c := &CSR{
+		n:        n,
+		m:        len(g.edges),
+		rowStart: make([]int32, n+1),
+		nbr:      make([]int32, 2*len(g.edges)),
+		edgeID:   make([]int32, 2*len(g.edges)),
+		weight:   make([]float64, 2*len(g.edges)),
+	}
+	pos := int32(0)
+	for u := 0; u < n; u++ {
+		c.rowStart[u] = pos
+		for _, h := range g.adj[u] {
+			c.nbr[pos] = int32(h.to)
+			c.edgeID[pos] = int32(h.edge)
+			c.weight[pos] = g.edges[h.edge].Weight
+			pos++
+		}
+	}
+	c.rowStart[n] = pos
+	return c
+}
+
+// NumNodes returns the snapshot's node count.
+func (c *CSR) NumNodes() int { return c.n }
+
+// NumEdges returns the snapshot's edge count.
+func (c *CSR) NumEdges() int { return c.m }
+
+// Degree returns the number of half-edges of u in the snapshot.
+func (c *CSR) Degree(u int) int { return int(c.rowStart[u+1] - c.rowStart[u]) }
+
+// Neighbors calls fn for each half-edge of u with the neighbour id, edge
+// index, and edge weight, in the same insertion order as Graph.Neighbors.
+func (c *CSR) Neighbors(u int, fn func(v, edgeID int, w float64)) {
+	for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+		fn(int(c.nbr[j]), int(c.edgeID[j]), c.weight[j])
+	}
+}
+
+// Dijkstra computes single-source shortest paths by edge weight from src
+// into ws.Dist (Inf if unreachable), ws.Parent and ws.ParentEdge (-1 for
+// src/unreachable). It allocates nothing once ws has warmed up; the heap
+// is a lazy binary heap over ws-owned parallel arrays. Negative edge
+// weights panic, matching Graph.Dijkstra.
+func (c *CSR) Dijkstra(ws *Workspace, src int) {
+	ws.Reserve(c.n)
+	dist := ws.Dist[:c.n]
+	parent := ws.Parent[:c.n]
+	parentEdge := ws.ParentEdge[:c.n]
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+		parentEdge[i] = -1
+	}
+	if c.n == 0 {
+		return
+	}
+	dist[src] = 0
+	hn := ws.heapNode[:0]
+	hd := ws.heapDist[:0]
+	hn, hd = heapPush(hn, hd, int32(src), 0)
+	for len(hn) > 0 {
+		u, du := hn[0], hd[0]
+		hn, hd = heapPop(hn, hd)
+		if du > dist[u] {
+			continue // stale lazy-heap entry
+		}
+		for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+			w := c.weight[j]
+			if w < 0 {
+				panic("graph: Dijkstra requires non-negative edge weights")
+			}
+			v := c.nbr[j]
+			if nd := du + w; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				parentEdge[v] = c.edgeID[j]
+				hn, hd = heapPush(hn, hd, v, nd)
+			}
+		}
+	}
+	ws.heapNode, ws.heapDist = hn, hd
+}
+
+// BFS computes hop distances from src into ws.Hop (-1 if unreachable) and
+// BFS parents into ws.Parent (-1 for src/unreachable). Allocation-free
+// once ws has warmed up.
+func (c *CSR) BFS(ws *Workspace, src int) {
+	ws.Reserve(c.n)
+	hop := ws.Hop[:c.n]
+	parent := ws.Parent[:c.n]
+	for i := range hop {
+		hop[i] = -1
+		parent[i] = -1
+	}
+	if c.n == 0 {
+		return
+	}
+	queue := ws.queue[:0]
+	hop[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+			v := c.nbr[j]
+			if hop[v] == -1 {
+				hop[v] = hop[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	ws.queue = queue
+}
+
+// Eccentricity returns the maximum finite hop distance from src.
+func (c *CSR) Eccentricity(ws *Workspace, src int) int {
+	c.BFS(ws, src)
+	max := int32(0)
+	for _, d := range ws.Hop[:c.n] {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// WeightedEccentricity returns the maximum finite weighted distance from
+// src.
+func (c *CSR) WeightedEccentricity(ws *Workspace, src int) float64 {
+	c.Dijkstra(ws, src)
+	max := 0.0
+	for _, d := range ws.Dist[:c.n] {
+		if d > max && d < Inf {
+			max = d
+		}
+	}
+	return max
+}
+
+// LargestComponentMasked returns the size of the largest connected
+// component of the snapshot restricted to nodes with removed[u] == false.
+// It is the kernel under the robustness failure/attack sweeps: instead of
+// materializing a RemoveNodes copy per removal fraction, callers flip
+// bits in one removed mask and re-measure. Visited bookkeeping uses ws
+// epochs, so repeated calls do not re-clear an O(n) array.
+func (c *CSR) LargestComponentMasked(ws *Workspace, removed []bool) int {
+	ws.Reserve(c.n)
+	epoch := ws.nextEpoch()
+	visited := ws.visited
+	best := 0
+	for s := 0; s < c.n; s++ {
+		if removed[s] || visited[s] == epoch {
+			continue
+		}
+		visited[s] = epoch
+		queue := ws.queue[:0]
+		queue = append(queue, int32(s))
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				v := c.nbr[j]
+				if visited[v] != epoch && !removed[v] {
+					visited[v] = epoch
+					queue = append(queue, v)
+				}
+			}
+		}
+		ws.queue = queue
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// boundedIndex reports whether u is a valid node id in the adjacency
+// structure. HasEdge and FindEdge share it so both are safe on
+// out-of-range ids.
+func (g *Graph) boundedIndex(u int) bool { return u >= 0 && u < len(g.adj) }
+
+// lazy binary heap over parallel (node, dist) arrays — no interface
+// boxing, no container/heap, so Dijkstra stays allocation-free.
+
+func heapPush(hn []int32, hd []float64, node int32, d float64) ([]int32, []float64) {
+	hn = append(hn, node)
+	hd = append(hd, d)
+	i := len(hn) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if hd[p] <= hd[i] {
+			break
+		}
+		hn[p], hn[i] = hn[i], hn[p]
+		hd[p], hd[i] = hd[i], hd[p]
+		i = p
+	}
+	return hn, hd
+}
+
+func heapPop(hn []int32, hd []float64) ([]int32, []float64) {
+	last := len(hn) - 1
+	hn[0], hd[0] = hn[last], hd[last]
+	hn, hd = hn[:last], hd[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(hn) && hd[l] < hd[small] {
+			small = l
+		}
+		if r < len(hn) && hd[r] < hd[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hn[i], hn[small] = hn[small], hn[i]
+		hd[i], hd[small] = hd[small], hd[i]
+		i = small
+	}
+	return hn, hd
+}

@@ -186,23 +186,18 @@ func (g *Graph) Neighbors(u int, fn func(v, edgeID int)) {
 	}
 }
 
-// HasEdge reports whether any edge connects u and v.
-func (g *Graph) HasEdge(u, v int) bool {
-	// Scan the shorter adjacency list.
-	if len(g.adj[u]) > len(g.adj[v]) {
-		u, v = v, u
-	}
-	for _, h := range g.adj[u] {
-		if h.to == v {
-			return true
-		}
-	}
-	return false
-}
+// HasEdge reports whether any edge connects u and v. Out-of-range ids
+// report false.
+func (g *Graph) HasEdge(u, v int) bool { return g.findEdge(u, v) >= 0 }
 
 // FindEdge returns the index of some edge between u and v, or -1.
-func (g *Graph) FindEdge(u, v int) int {
-	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+// Out-of-range ids report -1.
+func (g *Graph) FindEdge(u, v int) int { return g.findEdge(u, v) }
+
+// findEdge is the shared bounds-checked adjacency scan under HasEdge and
+// FindEdge, walking the shorter of the two lists.
+func (g *Graph) findEdge(u, v int) int {
+	if !g.boundedIndex(u) || !g.boundedIndex(v) {
 		return -1
 	}
 	if len(g.adj[u]) > len(g.adj[v]) {

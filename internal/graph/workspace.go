@@ -1,0 +1,90 @@
+package graph
+
+import "sync"
+
+// Workspace owns every scratch buffer a traversal kernel needs: weighted
+// and hop distances, shortest-path-tree parents, the Dijkstra heap, the
+// BFS queue, and an epoch-stamped visited array. One Workspace serves one
+// goroutine at a time; a sync.Pool (GetWorkspace / Release) recycles them
+// so multi-source sweeps run allocation-free after warmup.
+//
+// The exported slices hold kernel outputs. After CSR.Dijkstra: Dist,
+// Parent, ParentEdge. After CSR.BFS: Hop, Parent. Their contents are valid
+// until the next kernel call on the same Workspace.
+type Workspace struct {
+	// Dist is the weighted distance per node (Inf when unreachable).
+	Dist []float64
+	// Hop is the BFS hop distance per node (-1 when unreachable).
+	Hop []int32
+	// Parent is the shortest-path-tree parent per node (-1 for the
+	// source and unreachable nodes).
+	Parent []int32
+	// ParentEdge is the edge id into the parent (-1 likewise).
+	ParentEdge []int32
+
+	heapNode []int32
+	heapDist []float64
+	queue    []int32
+	visited  []uint32
+	epoch    uint32
+}
+
+// NewWorkspace returns a Workspace sized for n-node graphs.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.Reserve(n)
+	return ws
+}
+
+// Reserve grows the buffers to hold n nodes. Shrinking never happens, so
+// a pooled Workspace converges to the largest graph it has served.
+func (ws *Workspace) Reserve(n int) {
+	if cap(ws.Dist) < n {
+		ws.Dist = make([]float64, n)
+		ws.Hop = make([]int32, n)
+		ws.Parent = make([]int32, n)
+		ws.ParentEdge = make([]int32, n)
+		ws.visited = make([]uint32, n)
+		ws.epoch = 0
+		if cap(ws.queue) < n {
+			ws.queue = make([]int32, 0, n)
+		}
+		if cap(ws.heapNode) < n {
+			ws.heapNode = make([]int32, 0, n)
+			ws.heapDist = make([]float64, 0, n)
+		}
+		return
+	}
+	ws.Dist = ws.Dist[:n]
+	ws.Hop = ws.Hop[:n]
+	ws.Parent = ws.Parent[:n]
+	ws.ParentEdge = ws.ParentEdge[:n]
+	ws.visited = ws.visited[:cap(ws.visited)]
+}
+
+// nextEpoch bumps the visited stamp, clearing the visited array only on
+// the rare wraparound.
+func (ws *Workspace) nextEpoch() uint32 {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: stale stamps could collide, reset
+		for i := range ws.visited {
+			ws.visited[i] = 0
+		}
+		ws.epoch = 1
+	}
+	return ws.epoch
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace takes a Workspace from the shared pool, grown to n nodes.
+// Pair with Release.
+func GetWorkspace(n int) *Workspace {
+	ws := wsPool.Get().(*Workspace)
+	ws.Reserve(n)
+	return ws
+}
+
+// Release returns ws to the pool. The caller must not touch ws (or any
+// of its exported slices) afterwards.
+func (ws *Workspace) Release() { wsPool.Put(ws) }

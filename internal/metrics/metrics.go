@@ -6,6 +6,11 @@
 // These metrics are what experiment E7 uses to demonstrate the paper's
 // §1 claim: a generator tuned to match one metric (the degree
 // distribution) can still "look very dissimilar on others."
+//
+// ComputeProfile freezes the graph into one shared CSR snapshot
+// (internal/graph) and evaluates the metric families concurrently, each
+// on pooled workspaces; every reduction is performed in a fixed order,
+// so results are identical for any worker count.
 package metrics
 
 import (
@@ -13,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -24,23 +30,35 @@ import (
 // sampleSources bounds the number of BFS sources (all nodes if <= 0 or
 // larger than n); sources are chosen deterministically from seed.
 func Expansion(g *graph.Graph, maxH, sampleSources int, seed int64) []float64 {
-	n := g.NumNodes()
+	return expansionCSR(g.Freeze(), maxH, sampleSources, seed, 0)
+}
+
+func expansionCSR(c *graph.CSR, maxH, sampleSources int, seed int64, workers int) []float64 {
+	n := c.NumNodes()
 	if n == 0 || maxH <= 0 {
 		return nil
 	}
 	sources := chooseSources(n, sampleSources, seed)
-	out := make([]float64, maxH+1)
-	for _, s := range sources {
-		dist, _ := g.BFS(s)
-		counts := make([]int, maxH+1)
-		for _, d := range dist {
-			if d >= 0 && d <= maxH {
-				counts[d]++
+	// One hop-histogram row per source, filled in parallel (disjoint
+	// writes), then reduced in source order for determinism.
+	counts := make([][]int, len(sources))
+	par.ForEach(workers, len(sources), func(si int) {
+		ws := graph.GetWorkspace(n)
+		defer ws.Release()
+		c.BFS(ws, sources[si])
+		row := make([]int, maxH+1)
+		for _, d := range ws.Hop[:n] {
+			if d >= 0 && int(d) <= maxH {
+				row[d]++
 			}
 		}
+		counts[si] = row
+	})
+	out := make([]float64, maxH+1)
+	for _, row := range counts {
 		acc := 0
 		for h := 0; h <= maxH; h++ {
-			acc += counts[h]
+			acc += row[h]
 			out[h] += float64(acc) / float64(n)
 		}
 	}
@@ -55,25 +73,41 @@ func Expansion(g *graph.Graph, maxH, sampleSources int, seed int64) []float64 {
 // fraction) vs (fraction removed), estimated over `trials` random removal
 // orders at `steps` removal fractions. 1.0 would mean the graph never
 // fragments; lower is less resilient.
+//
+// Each trial incrementally extends one removal mask and re-measures the
+// largest component on the shared snapshot — no subgraph copies — and
+// trials run in parallel.
 func Resilience(g *graph.Graph, steps, trials int, seed int64) float64 {
-	n := g.NumNodes()
+	return resilienceCSR(g.Freeze(), steps, trials, seed, 0)
+}
+
+func resilienceCSR(c *graph.CSR, steps, trials int, seed int64, workers int) float64 {
+	n := c.NumNodes()
 	if n == 0 || steps <= 0 || trials <= 0 {
 		return 0
 	}
-	total := 0.0
-	for trial := 0; trial < trials; trial++ {
+	perTrial := make([]float64, trials)
+	par.ForEach(workers, trials, func(trial int) {
 		r := rng.New(rng.Derive(seed, trial))
 		perm := rng.Shuffle(r, n)
+		ws := graph.GetWorkspace(n)
+		defer ws.Release()
+		removed := make([]bool, n)
+		prev := 0
+		sum := 0.0
 		for s := 1; s <= steps; s++ {
 			frac := float64(s) / float64(steps+1)
 			k := int(frac * float64(n))
-			sub, _ := g.RemoveNodes(perm[:k])
-			lcc := 0.0
-			if sub.NumNodes() > 0 {
-				lcc = float64(sub.LargestComponentSize()) / float64(n)
+			for ; prev < k; prev++ {
+				removed[perm[prev]] = true
 			}
-			total += lcc
+			sum += float64(c.LargestComponentMasked(ws, removed)) / float64(n)
 		}
+		perTrial[trial] = sum
+	})
+	total := 0.0
+	for _, s := range perTrial {
+		total += s
 	}
 	return total / float64(steps*trials)
 }
@@ -87,8 +121,13 @@ func Resilience(g *graph.Graph, steps, trials int, seed int64) float64 {
 //
 // Implementation: build an MST T (by edge weight; falls back to hop count
 // when weights are zero), then average over all *graph* edges (u,v) the
-// hop distance between u and v in T.
+// hop distance between u and v in T, with the per-source tree BFS runs
+// fanned out across the worker pool.
 func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
+	return distortion(g, sampleEdges, seed, 0)
+}
+
+func distortion(g *graph.Graph, sampleEdges int, seed int64, workers int) float64 {
 	m := g.NumEdges()
 	n := g.NumNodes()
 	if m == 0 || n == 0 {
@@ -100,11 +139,9 @@ func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
 	for i := 0; i < n; i++ {
 		tree.AddNode(*g.Node(i))
 	}
-	inMST := make(map[int]bool, len(mstIDs))
 	for _, id := range mstIDs {
 		e := g.Edge(id)
 		tree.AddEdge(graph.Edge{U: e.U, V: e.V, Weight: e.Weight})
-		inMST[id] = true
 	}
 	// Sample non-tree edges (tree edges have distortion exactly 1).
 	edges := make([]int, 0, m)
@@ -127,16 +164,30 @@ func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
 		srcs = append(srcs, s)
 	}
 	sort.Ints(srcs)
-	total := 0.0
-	count := 0
-	for _, s := range srcs {
-		dist, _ := tree.BFS(s)
-		for _, v := range bySrc[s] {
-			if dist[v] > 0 {
-				total += float64(dist[v])
-				count++
+	tc := tree.Freeze()
+	type partial struct {
+		total float64
+		count int
+	}
+	perSrc := make([]partial, len(srcs))
+	par.ForEach(workers, len(srcs), func(si int) {
+		ws := graph.GetWorkspace(n)
+		defer ws.Release()
+		tc.BFS(ws, srcs[si])
+		p := partial{}
+		for _, v := range bySrc[srcs[si]] {
+			if ws.Hop[v] > 0 {
+				p.total += float64(ws.Hop[v])
+				p.count++
 			}
 		}
+		perSrc[si] = p
+	})
+	total := 0.0
+	count := 0
+	for _, p := range perSrc {
+		total += p.total
+		count += p.count
 	}
 	if count == 0 {
 		return 0
@@ -181,21 +232,33 @@ func HierarchyDepth(g *graph.Graph, root int) float64 {
 // on the deflated matrix. Larger gap ⇒ better expansion / harder to cut.
 // Returns 0 for disconnected or trivial graphs.
 func SpectralGap(g *graph.Graph, iters int) float64 {
-	n := g.NumNodes()
-	if n < 2 || !g.IsConnected() {
+	if !g.IsConnected() {
+		return 0
+	}
+	return spectralGapCSR(g.Freeze(), iters)
+}
+
+// spectralGapCSR assumes the snapshot is of a connected graph.
+func spectralGapCSR(c *graph.CSR, iters int) float64 {
+	n := c.NumNodes()
+	if n < 2 {
 		return 0
 	}
 	if iters <= 0 {
 		iters = 200
 	}
-	deg := g.Degrees()
 	// We find the second-largest eigenvalue mu of the normalized adjacency
 	// walk matrix N = D^-1/2 A D^-1/2 by power iteration with deflation of
 	// the known top eigenvector v1(i) = sqrt(deg_i). Then lambda2 = 1 - mu.
+	invSqrtDeg := make([]float64, n)
 	v1 := make([]float64, n)
 	norm := 0.0
 	for i := 0; i < n; i++ {
-		v1[i] = math.Sqrt(float64(deg[i]))
+		d := float64(c.Degree(i))
+		v1[i] = math.Sqrt(d)
+		if d > 0 {
+			invSqrtDeg[i] = 1 / math.Sqrt(d)
+		}
 		norm += v1[i] * v1[i]
 	}
 	norm = math.Sqrt(norm)
@@ -225,15 +288,12 @@ func SpectralGap(g *graph.Graph, iters int) float64 {
 			y[i] = 0
 		}
 		for u := 0; u < n; u++ {
-			du := math.Sqrt(float64(deg[u]))
-			if du == 0 {
+			if invSqrtDeg[u] == 0 {
 				continue
 			}
-			g.Neighbors(u, func(v, _ int) {
-				dv := math.Sqrt(float64(deg[v]))
-				if dv > 0 {
-					y[v] += x[u] / (du * dv)
-				}
+			xu := x[u]
+			c.Neighbors(u, func(v int, _ int, _ float64) {
+				y[v] += xu * invSqrtDeg[u] * invSqrtDeg[v]
 			})
 		}
 		for i := range y {
@@ -283,21 +343,44 @@ type Profile struct {
 }
 
 // ComputeProfile evaluates the full metric suite with deterministic
-// sampling budgets suitable for graphs up to a few thousand nodes.
+// sampling budgets suitable for graphs up to a few thousand nodes, using
+// every available core. Equivalent to ComputeProfileParallel(g, seed, 0).
 func ComputeProfile(g *graph.Graph, seed int64) Profile {
+	return ComputeProfileParallel(g, seed, 0)
+}
+
+// ComputeProfileParallel is ComputeProfile with an explicit worker count
+// (<= 0 means GOMAXPROCS). The graph is frozen once and the metric
+// families run concurrently on the shared snapshot; results are
+// identical for any worker count. workers bounds each fan-out level
+// (the family group and each family's internal sweep) rather than the
+// total goroutine count — excess goroutines are cheap and the Go
+// scheduler time-shares them, so workers=1 is the meaningful sequential
+// baseline and larger values trade precision of the bound for scaling.
+func ComputeProfileParallel(g *graph.Graph, seed int64, workers int) Profile {
 	p := Profile{
 		Nodes:     g.NumNodes(),
 		Edges:     g.NumEdges(),
 		MaxDegree: g.MaxDegree(),
 	}
-	exp := Expansion(g, 3, 50, seed)
-	if len(exp) > 3 {
-		p.ExpansionAt3 = exp[3]
-	}
-	p.Resilience = Resilience(g, 10, 3, seed)
-	p.Distortion = Distortion(g, 2000, seed)
-	p.HierarchyDepth = HierarchyDepth(g, -1)
-	p.SpectralGap = SpectralGap(g, 150)
+	c := g.Freeze()
+	connected := g.IsConnected()
+	par.Do(workers,
+		func() {
+			exp := expansionCSR(c, 3, 50, seed, workers)
+			if len(exp) > 3 {
+				p.ExpansionAt3 = exp[3]
+			}
+		},
+		func() { p.Resilience = resilienceCSR(c, 10, 3, seed, workers) },
+		func() { p.Distortion = distortion(g, 2000, seed, workers) },
+		func() { p.HierarchyDepth = HierarchyDepth(g, -1) },
+		func() {
+			if connected {
+				p.SpectralGap = spectralGapCSR(c, 150)
+			}
+		},
+	)
 	return p
 }
 

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 237
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		ForEach(workers, n, func(i int) {
+			hits.Add(1)
+			if seen[i].Swap(true) {
+				t.Errorf("workers=%d: index %d run twice", workers, i)
+			}
+		})
+		if int(hits.Load()) != n {
+			t.Fatalf("workers=%d: ran %d of %d items", workers, hits.Load(), n)
+		}
+	}
+}
+
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEachErr(workers, 50, func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: got %v, want fail at 3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrNilOnSuccess(t *testing.T) {
+	if err := ForEachErr(4, 20, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachErr(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("n=0 should never call fn")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic was swallowed")
+		}
+	}()
+	ForEach(4, 10, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8,3) = %d", got)
+	}
+	if got := Workers(2, 100); got != 2 {
+		t.Fatalf("Workers(2,100) = %d", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0,100) = %d", got)
+	}
+	if got := Workers(-3, 0); got != 1 {
+		t.Fatalf("Workers(-3,0) = %d", got)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(0, func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a task")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -58,6 +59,13 @@ type SweepPoint struct {
 // (cumulatively consistent: larger fractions are supersets) and reports
 // the largest-component curve. Random failure averages over trials; the
 // deterministic attacks use a single pass.
+//
+// The graph is frozen into one CSR snapshot; each trial extends a single
+// node-removal mask through the fractions (smallest first) and measures
+// the largest surviving component in place, instead of materializing a
+// RemoveNodes subgraph per point. Trials run in parallel across all
+// available cores and are reduced in trial order, so the curve is
+// byte-identical for any level of parallelism.
 func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int64) ([]SweepPoint, error) {
 	n := g.NumNodes()
 	if n == 0 {
@@ -78,16 +86,35 @@ func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int
 	for i, f := range fracs {
 		out[i].FracRemoved = f
 	}
-	for trial := 0; trial < trials; trial++ {
+	// Visit fractions in increasing removal-count order so each trial's
+	// mask only ever grows; results land at the caller's original index.
+	byK := make([]int, len(fracs))
+	for i := range byK {
+		byK[i] = i
+	}
+	sort.SliceStable(byK, func(a, b int) bool { return fracs[byK[a]] < fracs[byK[b]] })
+
+	c := g.Freeze()
+	perTrial := make([][]float64, trials)
+	par.ForEach(0, trials, func(trial int) {
 		order := removalOrder(g, strat, rng.Derive(seed, trial))
-		for i, f := range fracs {
-			k := int(f * float64(n))
-			sub, _ := g.RemoveNodes(order[:k])
-			lcc := 0.0
-			if sub.NumNodes() > 0 {
-				lcc = float64(sub.LargestComponentSize()) / float64(n)
+		ws := graph.GetWorkspace(n)
+		defer ws.Release()
+		removed := make([]bool, n)
+		vals := make([]float64, len(fracs))
+		prev := 0
+		for _, i := range byK {
+			k := int(fracs[i] * float64(n))
+			for ; prev < k; prev++ {
+				removed[order[prev]] = true
 			}
-			out[i].LCCFrac += lcc
+			vals[i] = float64(c.LargestComponentMasked(ws, removed)) / float64(n)
+		}
+		perTrial[trial] = vals
+	})
+	for _, vals := range perTrial {
+		for i, v := range vals {
+			out[i].LCCFrac += v
 		}
 	}
 	for i := range out {

@@ -2,7 +2,6 @@ package routing
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -27,6 +26,10 @@ type MaxMinResult struct {
 // what throughput the topology's provisioning actually supports, not
 // just whether demand volumes fit.
 //
+// Path pinning fans sources out across the worker pool on a frozen CSR
+// snapshot; the filling loop itself is sequential and fully
+// deterministic (bottleneck ties break to the lowest edge id).
+//
 // Algorithm: progressive filling. Repeatedly find the edge whose equal
 // share among its unfrozen flows is smallest, freeze those flows at that
 // share, remove the capacity, and continue. O(E * F) in the worst case.
@@ -37,39 +40,30 @@ func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
 	nd := len(demands)
 	res := &MaxMinResult{Rate: make([]float64, nd)}
 
-	// Pin each demand to its shortest path (edge id list).
-	flowEdges := make([][]int, nd)
-	bySrc := map[int][]int{}
-	for i, d := range demands {
-		bySrc[d.Src] = append(bySrc[d.Src], i)
-	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	for _, s := range srcs {
-		dist, parent, parentEdge := g.Dijkstra(s)
-		for _, i := range bySrc[s] {
-			d := demands[i]
-			if math.IsInf(dist[d.Dst], 1) || d.Volume <= 0 {
-				continue
-			}
-			for v := d.Dst; v != s; v = parent[v] {
-				flowEdges[i] = append(flowEdges[i], parentEdge[v])
-			}
-		}
-	}
+	// Pin each demand to its shortest path (edge id list), in parallel
+	// over distinct sources.
+	ps := pinPaths(g.Freeze(), demands, true)
+	flowEdges := ps.edges
 
-	// edgeFlows[e] = indices of unfrozen flows crossing edge e.
-	edgeFlows := make(map[int][]int)
+	// edgeFlows[e] = indices of flows crossing edge e; live[e] counts the
+	// not-yet-frozen ones. usedEdges lists loaded edges ascending so the
+	// bottleneck scan is deterministic.
+	m := g.NumEdges()
+	edgeFlows := make([][]int32, m)
 	for i, es := range flowEdges {
 		for _, e := range es {
-			edgeFlows[e] = append(edgeFlows[e], i)
+			edgeFlows[e] = append(edgeFlows[e], int32(i))
 		}
 	}
-	remaining := make(map[int]float64, len(edgeFlows))
-	for e := range edgeFlows {
+	usedEdges := make([]int, 0, m)
+	live := make([]int, m)
+	remaining := make([]float64, m)
+	for e := 0; e < m; e++ {
+		if len(edgeFlows[e]) == 0 {
+			continue
+		}
+		usedEdges = append(usedEdges, e)
+		live[e] = len(edgeFlows[e])
 		remaining[e] = g.Edge(e).Capacity
 	}
 	frozen := make([]bool, nd)
@@ -85,17 +79,11 @@ func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
 	for active > 0 {
 		// Find the tightest edge: min over edges of remaining / unfrozen.
 		bestEdge, bestShare := -1, math.Inf(1)
-		for e, flows := range edgeFlows {
-			cnt := 0
-			for _, i := range flows {
-				if !frozen[i] {
-					cnt++
-				}
-			}
-			if cnt == 0 {
+		for _, e := range usedEdges {
+			if live[e] == 0 {
 				continue
 			}
-			share := remaining[e] / float64(cnt)
+			share := remaining[e] / float64(live[e])
 			if share < bestShare {
 				bestEdge, bestShare = e, share
 			}
@@ -117,6 +105,7 @@ func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
 			active--
 			res.Rate[i] = bestShare
 			for _, e := range flowEdges[i] {
+				live[e]--
 				remaining[e] -= bestShare
 				if remaining[e] < 0 {
 					remaining[e] = 0

@@ -3,6 +3,12 @@
 // provisioned capacities, and delivered throughput. It is the
 // "performance" half of the paper's cost/performance tradeoff, used by
 // the ISP designer (internal/isp) and by experiments E4, E5 and E8.
+//
+// All multi-source entry points freeze the graph into a CSR snapshot
+// once and fan the per-source shortest-path computations out across a
+// worker pool with pooled workspaces (internal/graph); per-demand
+// results are written to disjoint slots and reduced in demand order, so
+// output is byte-identical for any worker count.
 package routing
 
 import (
@@ -11,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Demand is one traffic requirement between two nodes of the graph.
@@ -39,47 +46,94 @@ type Result struct {
 	AvgHops float64
 }
 
-// RouteShortestPaths routes every demand on the (weight-)shortest path,
-// ignoring capacities: loads may exceed capacity, and the resulting
-// utilization says how well the topology was provisioned. Demands whose
-// endpoints are disconnected are dropped.
-//
-// Shortest-path trees are computed per distinct source, so grouping
-// demands by source keeps this O(S * m log n) for S distinct sources.
-func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
-	if err := checkDemands(g, demands); err != nil {
-		return nil, err
+// pathSet is the pinned shortest path of every demand: the path weight
+// (Inf when unroutable or the demand has no volume) and, when requested,
+// the edge ids of the path in dst→src order.
+type pathSet struct {
+	dist  []float64
+	edges [][]int32
+}
+
+// pinPaths computes every positive-volume demand's shortest path on the
+// frozen snapshot. Distinct sources are distributed across the worker
+// pool; each source's Dijkstra runs on a pooled workspace and writes only
+// its own demands' slots, so the result does not depend on scheduling.
+func pinPaths(c *graph.CSR, demands []Demand, needEdges bool) *pathSet {
+	ps := &pathSet{dist: make([]float64, len(demands))}
+	for i := range ps.dist {
+		ps.dist[i] = math.Inf(1)
 	}
-	res := &Result{Load: make([]float64, g.NumEdges())}
-	bySrc := map[int][]Demand{}
-	for _, d := range demands {
-		bySrc[d.Src] = append(bySrc[d.Src], d)
+	if needEdges {
+		ps.edges = make([][]int32, len(demands))
+	}
+	bySrc := map[int][]int{}
+	for i, d := range demands {
+		if d.Volume <= 0 {
+			continue
+		}
+		bySrc[d.Src] = append(bySrc[d.Src], i)
 	}
 	srcs := make([]int, 0, len(bySrc))
 	for s := range bySrc {
 		srcs = append(srcs, s)
 	}
+	// Output does not depend on processing order (per-demand writes are
+	// disjoint); sorting just keeps the dispatch order stable for
+	// debugging and costs O(S log S) against S Dijkstra runs.
 	sort.Ints(srcs)
-	var totalW, totalHops float64
-	for _, s := range srcs {
-		dist, parent, parentEdge := g.Dijkstra(s)
-		for _, d := range bySrc[s] {
-			if d.Volume <= 0 {
+	par.ForEach(0, len(srcs), func(si int) {
+		s := srcs[si]
+		ws := graph.GetWorkspace(c.NumNodes())
+		defer ws.Release()
+		c.Dijkstra(ws, s)
+		for _, i := range bySrc[s] {
+			dst := demands[i].Dst
+			if math.IsInf(ws.Dist[dst], 1) {
 				continue
 			}
-			if math.IsInf(dist[d.Dst], 1) {
-				res.Dropped += d.Volume
+			ps.dist[i] = ws.Dist[dst]
+			if !needEdges {
 				continue
 			}
-			hops := 0
-			for v := d.Dst; v != s; v = parent[v] {
-				res.Load[parentEdge[v]] += d.Volume
-				hops++
+			var path []int32
+			for v := int32(dst); v != int32(s); v = ws.Parent[v] {
+				path = append(path, ws.ParentEdge[v])
 			}
-			res.Delivered += d.Volume
-			totalW += d.Volume * dist[d.Dst]
-			totalHops += d.Volume * float64(hops)
+			ps.edges[i] = path
 		}
+	})
+	return ps
+}
+
+// RouteShortestPaths routes every demand on the (weight-)shortest path,
+// ignoring capacities: loads may exceed capacity, and the resulting
+// utilization says how well the topology was provisioned. Demands whose
+// endpoints are disconnected are dropped.
+//
+// Shortest-path trees are computed once per distinct source, in parallel
+// across sources.
+func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
+	if err := checkDemands(g, demands); err != nil {
+		return nil, err
+	}
+	res := &Result{Load: make([]float64, g.NumEdges())}
+	ps := pinPaths(g.Freeze(), demands, true)
+	var totalW, totalHops float64
+	for i, d := range demands {
+		if d.Volume <= 0 {
+			continue
+		}
+		path := ps.edges[i]
+		if path == nil {
+			res.Dropped += d.Volume
+			continue
+		}
+		for _, e := range path {
+			res.Load[e] += d.Volume
+		}
+		res.Delivered += d.Volume
+		totalW += d.Volume * ps.dist[i]
+		totalHops += d.Volume * float64(len(path))
 	}
 	if res.Delivered > 0 {
 		res.AvgPathWeight = totalW / res.Delivered
@@ -92,7 +146,8 @@ func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
 // RouteCapacitated routes demands in the given order on shortest paths,
 // admitting each demand only up to the remaining bottleneck capacity
 // along its path (partial delivery allowed). It is a greedy online
-// admission model: earlier demands grab capacity first.
+// admission model: earlier demands grab capacity first — inherently
+// sequential, so only the per-source shortest-path trees are kernelized.
 func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 	if err := checkDemands(g, demands); err != nil {
 		return nil, err
@@ -102,12 +157,15 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 	for i, e := range g.Edges() {
 		remaining[i] = e.Capacity
 	}
+	c := g.Freeze()
+	ws := graph.GetWorkspace(c.NumNodes())
+	defer ws.Release()
 	var totalW, totalHops float64
 	// Cache SP trees per source; demands often share sources.
 	type spt struct {
 		dist       []float64
-		parent     []int
-		parentEdge []int
+		parent     []int32
+		parentEdge []int32
 	}
 	cache := map[int]spt{}
 	for _, d := range demands {
@@ -116,8 +174,12 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 		}
 		tr, ok := cache[d.Src]
 		if !ok {
-			dist, parent, parentEdge := g.Dijkstra(d.Src)
-			tr = spt{dist, parent, parentEdge}
+			c.Dijkstra(ws, d.Src)
+			tr = spt{
+				dist:       append([]float64(nil), ws.Dist...),
+				parent:     append([]int32(nil), ws.Parent...),
+				parentEdge: append([]int32(nil), ws.ParentEdge...),
+			}
 			cache[d.Src] = tr
 		}
 		if math.IsInf(tr.dist[d.Dst], 1) {
@@ -127,7 +189,7 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 		// Bottleneck along path.
 		admit := d.Volume
 		hops := 0
-		for v := d.Dst; v != d.Src; v = tr.parent[v] {
+		for v := int32(d.Dst); v != int32(d.Src); v = tr.parent[v] {
 			if r := remaining[tr.parentEdge[v]]; r < admit {
 				admit = r
 			}
@@ -136,7 +198,7 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 		if admit < 0 {
 			admit = 0
 		}
-		for v := d.Dst; v != d.Src; v = tr.parent[v] {
+		for v := int32(d.Dst); v != int32(d.Src); v = tr.parent[v] {
 			remaining[tr.parentEdge[v]] -= admit
 			res.Load[tr.parentEdge[v]] += admit
 		}
@@ -160,29 +222,20 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 // geographic efficiency measure. Demands between co-located or
 // disconnected endpoints are skipped.
 func PathStretch(g *graph.Graph, demands []Demand) float64 {
+	ps := pinPaths(g.Freeze(), demands, false)
 	totalVol := 0.0
 	total := 0.0
-	bySrc := map[int][]Demand{}
-	for _, d := range demands {
-		bySrc[d.Src] = append(bySrc[d.Src], d)
-	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	for _, s := range srcs {
-		dist, _, _ := g.Dijkstra(s)
-		ns := g.Node(s)
-		for _, d := range bySrc[s] {
-			nd := g.Node(d.Dst)
-			straight := math.Hypot(ns.X-nd.X, ns.Y-nd.Y)
-			if straight == 0 || math.IsInf(dist[d.Dst], 1) || d.Volume <= 0 {
-				continue
-			}
-			total += d.Volume * dist[d.Dst] / straight
-			totalVol += d.Volume
+	for i, d := range demands {
+		if d.Volume <= 0 || math.IsInf(ps.dist[i], 1) {
+			continue
 		}
+		ns, nd := g.Node(d.Src), g.Node(d.Dst)
+		straight := math.Hypot(ns.X-nd.X, ns.Y-nd.Y)
+		if straight == 0 {
+			continue
+		}
+		total += d.Volume * ps.dist[i] / straight
+		totalVol += d.Volume
 	}
 	if totalVol == 0 {
 		return 0

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the full benchmark suite and record the results as JSON so the
+# performance trajectory is trackable across PRs.
+#
+# Usage:
+#   scripts/bench.sh [benchtime]           # default 1x (smoke); use e.g. 5x or 1s for real numbers
+#
+# Output: BENCH_<yyyymmdd>.json in the repo root, an array of
+#   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}
+# (bytes/allocs present only for benchmarks that report them).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1x}"
+OUT="BENCH_$(date +%Y%m%d).json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem ./... | tee "$RAW"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""
+    bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  printf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    printf("}")
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
