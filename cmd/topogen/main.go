@@ -1,5 +1,5 @@
-// Command topogen generates topologies with any of the repository's
-// models and writes them as JSON, DOT, or an adjacency list.
+// Command topogen generates topologies with any model in the scenario
+// registry and writes them as JSON, DOT, or an adjacency list.
 //
 // Usage:
 //
@@ -7,34 +7,57 @@
 //	topogen -model ba -n 5000 -m 2 -format dot
 //	topogen -model isp -cities 25 -pops 8 -customers 2000
 //	topogen -model internet -isps 8 -pops 5 -customers 300
+//	topogen -model inet -param alpha=2.2 -n 3000
+//	topogen -list
 //
-// Models: fkp, hot, mmp (buy-at-bulk), ba, glp, er, waxman, transitstub,
-// rgg, isp, internet.
+// The documented convenience flags (-n, -alpha, -m, ...) cover the
+// classic models: fkp, hot, mmp, ring, ba, glp, er, waxman, transitstub,
+// rgg, isp, internet. Every registered model — run `topogen -list` for
+// the full set with its typed parameters — is reachable through
+// repeatable -param name=value flags, which override the convenience
+// flags on conflict.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/access"
-	"repro/internal/core"
 	"repro/internal/export"
-	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/isp"
-	"repro/internal/peering"
-	"repro/internal/traffic"
+	"repro/internal/scenario"
 )
+
+// paramFlags collects repeatable -param name=value pairs.
+type paramFlags scenario.Params
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", scenario.Params(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %q: %v", name, err)
+	}
+	p[name] = v
+	return nil
+}
 
 func main() {
 	var (
-		model  = flag.String("model", "fkp", "topology model: fkp|hot|mmp|ring|ba|glp|er|waxman|transitstub|rgg|isp|internet")
+		model  = flag.String("model", "fkp", "topology model: any registered generator (see -list); classics: fkp|hot|mmp|ring|ba|glp|er|waxman|transitstub|rgg|isp|internet")
 		n      = flag.Int("n", 1000, "number of nodes / customers")
 		seed   = flag.Int64("seed", 1, "random seed")
 		format = flag.String("format", "json", "output format: json|dot|adj")
 		out    = flag.String("o", "-", "output file ('-' = stdout)")
+		list   = flag.Bool("list", false, "list registered models with their parameters and exit")
 
 		alpha = flag.Float64("alpha", 8, "fkp: distance weight")
 		links = flag.Int("links", 1, "hot: links per arrival")
@@ -52,13 +75,20 @@ func main() {
 		isps      = flag.Int("isps", 8, "internet: number of providers")
 		price     = flag.Float64("price", 0, "isp: per-demand price (>0 switches to profit formulation)")
 	)
+	overrides := paramFlags{}
+	flag.Var(overrides, "param", "extra model parameter as name=value (repeatable; overrides convenience flags)")
 	flag.Parse()
+
+	if *list {
+		listModels(os.Stdout)
+		return
+	}
 
 	g, err := generate(*model, genParams{
 		n: *n, seed: *seed, alpha: *alpha, links: *links, ports: *ports,
 		m: *m, p: *p, beta: *beta, waxmanAlpha: *wa, radius: *rad,
 		cities: *cities, pops: *pops, customers: *customers, isps: *isps,
-		price: *price,
+		price: *price, overrides: scenario.Params(overrides),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
@@ -92,6 +122,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "topogen: %s: %d nodes, %d edges\n", *model, g.NumNodes(), g.NumEdges())
 }
 
+func listModels(w io.Writer) {
+	scenario.Default().FormatModels(w, "-param ")
+}
+
 type genParams struct {
 	n           int
 	seed        int64
@@ -108,127 +142,86 @@ type genParams struct {
 	customers   int
 	isps        int
 	price       float64
+	overrides   scenario.Params
 }
 
+// generate dispatches through the scenario registry: the documented
+// convenience flags are mapped onto each classic model's registry
+// parameters, any -param overrides are applied last, and the registry
+// validates the final set.
 func generate(model string, gp genParams) (*graph.Graph, error) {
+	name, params, err := registryArgs(model, gp)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range gp.overrides {
+		params[k] = v
+	}
+	return scenario.Default().GenerateByName(context.Background(), name, params)
+}
+
+// registryArgs maps topogen's documented flag sets onto registry names
+// and parameters. Models outside the documented set pass only the flags
+// they declare ("n", "seed"), leaving the rest to -param.
+func registryArgs(model string, gp genParams) (string, scenario.Params, error) {
+	fn := float64(gp.n)
+	fseed := float64(gp.seed)
 	switch model {
 	case "fkp":
-		return core.FKP(core.FKPConfig{
-			N: gp.n, Alpha: gp.alpha, Seed: gp.seed, MaxDegree: gp.ports,
-		})
+		return model, scenario.Params{"n": fn, "alpha": gp.alpha, "ports": float64(gp.ports), "seed": fseed}, nil
 	case "hot":
-		g, _, err := core.GrowHOT(core.HOTConfig{
-			N:    gp.n,
-			Seed: gp.seed,
-			Terms: []core.ObjectiveTerm{
-				core.DistanceTerm{Weight: gp.alpha},
-				core.CentralityTerm{Weight: 1},
-			},
-			LinksPerArrival: gp.links,
-			Constraints:     portConstraint(gp.ports),
-		})
-		return g, err
+		return model, scenario.Params{"n": fn, "alpha": gp.alpha, "links": float64(gp.links), "ports": float64(gp.ports), "seed": fseed}, nil
 	case "mmp":
-		in, err := access.RandomInstance(access.InstanceConfig{
-			N: gp.n, Seed: gp.seed, DemandMin: 1, DemandMax: 16, RootAtCenter: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		net, err := access.MMPIncremental(in, gp.seed)
-		if err != nil {
-			return nil, err
-		}
-		return net.Graph, nil
+		return model, scenario.Params{"n": fn, "seed": fseed}, nil
 	case "ring":
-		in, err := access.RandomInstance(access.InstanceConfig{
-			N: gp.n, Seed: gp.seed, DemandMin: 1, DemandMax: 16, RootAtCenter: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		net, err := access.RingMetro(in, 8)
-		if err != nil {
-			return nil, err
-		}
-		return net.Graph, nil
+		return model, scenario.Params{"n": fn, "seed": fseed}, nil
 	case "ba":
-		return gen.BarabasiAlbert(gp.n, gp.m, gp.seed)
+		return model, scenario.Params{"n": fn, "m": float64(gp.m), "seed": fseed}, nil
 	case "glp":
-		return gen.GLP(gp.n, gp.m, gp.p, gp.beta, gp.seed)
-	case "er":
-		return gen.ErdosRenyiGNP(gp.n, gp.p, gp.seed)
+		return model, scenario.Params{"n": fn, "m": float64(gp.m), "p": gp.p, "beta": gp.beta, "seed": fseed}, nil
+	case "er", "er-gnp":
+		return "er-gnp", scenario.Params{"n": fn, "p": gp.p, "seed": fseed}, nil
 	case "waxman":
-		return gen.Waxman(gp.n, gp.waxmanAlpha, gp.beta, gp.seed)
+		return model, scenario.Params{"n": fn, "alpha": gp.waxmanAlpha, "beta": gp.beta, "seed": fseed}, nil
 	case "transitstub":
 		stubSize := gp.n / 48
 		if stubSize < 2 {
 			stubSize = 2
 		}
-		return gen.TransitStub(gen.TransitStubConfig{
-			TransitDomains:  4,
-			TransitSize:     4,
-			StubsPerTransit: 3,
-			StubSize:        stubSize,
-			EdgeProb:        0.3,
-			Seed:            gp.seed,
-		})
+		return model, scenario.Params{
+			"domains": 4, "transitsize": 4, "stubs": 3,
+			"stubsize": float64(stubSize), "edgeprob": 0.3, "seed": fseed,
+		}, nil
 	case "rgg":
-		return gen.RandomGeometric(gp.n, gp.radius, gp.seed)
+		return model, scenario.Params{"n": fn, "radius": gp.radius, "seed": fseed}, nil
 	case "isp":
-		geo, err := traffic.GenerateGeography(traffic.GeographyConfig{
-			NumCities: gp.cities, Seed: gp.seed, ZipfExponent: 1, MinSeparation: 0.03,
-		})
-		if err != nil {
-			return nil, err
-		}
-		cfg := isp.Config{
-			Geography:             geo,
-			NumPOPs:               gp.pops,
-			Customers:             gp.customers,
-			Seed:                  gp.seed,
-			PerfWeight:            50,
-			MaxExtraBackboneLinks: 4,
-			MaxPorts:              gp.ports,
-			DemandMin:             1,
-			DemandMax:             8,
-		}
-		if gp.price > 0 {
-			cfg.Formulation = isp.ProfitBased
-			cfg.PricePerDemand = gp.price
-		}
-		des, err := isp.Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return des.Graph, nil
+		return model, scenario.Params{
+			"cities": float64(gp.cities), "pops": float64(gp.pops),
+			"customers": float64(gp.customers), "ports": float64(gp.ports),
+			"price": gp.price, "seed": fseed,
+		}, nil
 	case "internet":
-		geo, err := traffic.GenerateGeography(traffic.GeographyConfig{
-			NumCities: gp.cities, Seed: gp.seed, ZipfExponent: 1, MinSeparation: 0.03,
-		})
-		if err != nil {
-			return nil, err
-		}
-		inet, err := peering.Assemble(peering.Config{
-			Geography:        geo,
-			NumISPs:          gp.isps,
-			Seed:             gp.seed,
-			POPsPerISP:       gp.pops,
-			CustomersPerISP:  gp.customers,
-			PeeringSetupCost: 1e-7,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return inet.Router, nil
+		return model, scenario.Params{
+			"cities": float64(gp.cities), "pops": float64(gp.pops),
+			"customers": float64(gp.customers), "isps": float64(gp.isps),
+			"seed": fseed,
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown model %q", model)
+		// Any other registered model: pass the generic flags it
+		// declares; everything else comes from -param.
+		g, err := scenario.Lookup(model)
+		if err != nil {
+			return "", nil, err
+		}
+		params := scenario.Params{}
+		for _, s := range g.Params() {
+			switch s.Name {
+			case "n":
+				params["n"] = fn
+			case "seed":
+				params["seed"] = fseed
+			}
+		}
+		return model, params, nil
 	}
-}
-
-func portConstraint(ports int) []core.Constraint {
-	if ports <= 0 {
-		return nil
-	}
-	return []core.Constraint{core.MaxDegreeConstraint{Max: ports}}
 }

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"errors"
+	"strings"
 	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/scenario"
 )
 
 func smallParams() genParams {
@@ -31,9 +36,26 @@ func TestGenerateAllModels(t *testing.T) {
 	}
 }
 
+func TestGenerateRegistryOnlyModels(t *testing.T) {
+	// Models with no dedicated convenience flags are still reachable:
+	// generic flags map onto the parameters they declare, -param covers
+	// the rest.
+	gp := smallParams()
+	for _, m := range []string{"inet", "configmodel", "er-gnm"} {
+		g, err := generate(m, gp)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("%s produced an empty graph", m)
+		}
+	}
+}
+
 func TestGenerateUnknownModel(t *testing.T) {
-	if _, err := generate("nope", smallParams()); err == nil {
-		t.Fatal("unknown model should error")
+	_, err := generate("nope", smallParams())
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown model gave %v, want ErrBadParam", err)
 	}
 }
 
@@ -64,11 +86,51 @@ func TestGenerateWithPorts(t *testing.T) {
 	}
 }
 
-func TestPortConstraintHelper(t *testing.T) {
-	if portConstraint(0) != nil {
-		t.Fatal("no cap should give nil constraints")
+func TestParamOverridesWin(t *testing.T) {
+	gp := smallParams()
+	gp.overrides = scenario.Params{"n": 25}
+	g, err := generate("ba", gp)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(portConstraint(4)) != 1 {
-		t.Fatal("cap should give one constraint")
+	if g.NumNodes() != 25 {
+		t.Fatalf("override ignored: %d nodes, want 25", g.NumNodes())
+	}
+}
+
+func TestParamRejectsUnknownName(t *testing.T) {
+	gp := smallParams()
+	gp.overrides = scenario.Params{"bogus": 1}
+	if _, err := generate("ba", gp); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown -param gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestParamFlagParsing(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("alpha=2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if p["alpha"] != 2.5 {
+		t.Fatalf("parsed %v", p)
+	}
+	for _, bad := range []string{"alpha", "=1", "alpha=x"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestListModels(t *testing.T) {
+	var b strings.Builder
+	listModels(&b)
+	out := b.String()
+	for _, m := range []string{"fkp", "internet", "configmodel"} {
+		if !strings.Contains(out, m+"\n") {
+			t.Errorf("-list output missing %q:\n%s", m, out)
+		}
+	}
+	if !strings.Contains(out, "-param seed=<int>") {
+		t.Errorf("-list output missing parameter lines:\n%s", out)
 	}
 }

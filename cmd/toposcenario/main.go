@@ -1,0 +1,118 @@
+// Command toposcenario runs declarative scenario specs end-to-end: each
+// scenario names a registered generator plus optional measure, route,
+// and attack stages, and the engine executes the whole batch on the CSR
+// kernel with a shared worker pool — the repository's serve-many-
+// requests entry point.
+//
+// Usage:
+//
+//	toposcenario -spec scenario.json
+//	toposcenario -spec batch.json -workers 8 -format json
+//	topogen-like pipelines: cat spec.json | toposcenario -spec -
+//	toposcenario -list
+//
+// The spec file holds one scenario object, a JSON array of them, or
+// {"scenarios": [...]}. A -timeout bounds the whole batch; Ctrl-C
+// cancels it cleanly (the engine returns as soon as every in-flight
+// stage observes the cancellation). Output is byte-identical for any
+// -workers value.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		spec    = flag.String("spec", "", "scenario spec file ('-' = stdin; required)")
+		workers = flag.Int("workers", 0, "worker pool bound (<= 0 = GOMAXPROCS); output is identical for any value")
+		format  = flag.String("format", "table", "output format: table|json")
+		out     = flag.String("o", "-", "output file ('-' = stdout)")
+		timeout = flag.Duration("timeout", 0, "abort the batch after this long (0 = no limit)")
+		list    = flag.Bool("list", false, "list registered models with their parameters and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		listModels(os.Stdout)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *spec, *workers, *format, *out, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "toposcenario: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, spec string, workers int, format, out string, timeout time.Duration) error {
+	if spec == "" {
+		return fmt.Errorf("missing -spec (a file path, or '-' for stdin)")
+	}
+	var data []byte
+	var err error
+	if spec == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(spec)
+	}
+	if err != nil {
+		return err
+	}
+	scs, err := scenario.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	results, err := scenario.NewEngine(nil).RunBatch(ctx, scs, scenario.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "table":
+		for i, r := range results {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprint(w, r.Format())
+		}
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func listModels(w io.Writer) {
+	scenario.Default().FormatModels(w, "")
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+)
+
+func TestRunSmokeSpecTable(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.txt")
+	if err := run(context.Background(), "testdata/smoke.json", 4, "table", out, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"designed-vs-blind", "descriptive-baseline", "waxman-throughput", "lcc@fracs"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunSmokeSpecJSONAndWorkerDeterminism(t *testing.T) {
+	read := func(workers int, format string) string {
+		out := filepath.Join(t.TempDir(), "out")
+		if err := run(context.Background(), "testdata/smoke.json", workers, format, out, 0); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if a, b := read(1, "table"), read(8, "table"); a != b {
+		t.Fatalf("table output differs between -workers 1 and 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", a, b)
+	}
+	j := read(4, "json")
+	if !strings.Contains(j, `"scenario"`) || !strings.Contains(j, `"reps"`) {
+		t.Fatalf("json output malformed:\n%s", j)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), bad, 0, "table", "-", 0); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("corrupt spec gave %v, want ErrBadParam", err)
+	}
+	if err := run(context.Background(), filepath.Join(dir, "missing.json"), 0, "table", "-", 0); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	if err := run(context.Background(), "", 0, "table", "-", 0); err == nil {
+		t.Fatal("empty -spec accepted")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"generate": {"model": "nope"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), unknown, 0, "table", "-", 0); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown model gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestRunHonorsCanceledContext(t *testing.T) {
+	big := filepath.Join(t.TempDir(), "big.json")
+	spec := `{"generate": {"model": "fkp", "params": {"n": 20000}}, "reps": 4}`
+	if err := os.WriteFile(big, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := run(ctx, big, 4, "table", "-", 0)
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("canceled run gave %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -7,6 +7,10 @@
 //	topostats -in topo.json
 //	topostats -in edges.txt -adj
 //	topostats -in topo.json -ccdf        # also print the degree CCDF
+//
+// Malformed input (corrupt JSON, bad adjacency lines, an empty
+// topology) exits non-zero with a diagnostic on stderr and writes no
+// partial statistics.
 package main
 
 import (
@@ -31,11 +35,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	if err := run(*in, *adj, *ccdf, *seed, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "topostats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run reads, validates, and reports on one topology. It writes nothing
+// to w until the input has parsed and validated, so a failure never
+// leaves partial output behind.
+func run(in string, adj, ccdf bool, seed int64, stdin io.Reader, w io.Writer) error {
+	r := stdin
+	if in != "-" {
+		f, err := os.Open(in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
@@ -43,45 +57,44 @@ func main() {
 	var g *graph.Graph
 	var name string
 	var err error
-	if *adj {
+	if adj {
 		g, err = export.ReadAdjacency(r)
-		name = *in
+		name = in
 	} else {
 		g, name, err = export.ReadJSON(r)
 	}
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if g.NumNodes() == 0 {
+		return fmt.Errorf("input %q holds an empty topology (no nodes)", in)
 	}
 
-	fmt.Printf("topology: %s\n", name)
-	fmt.Printf("nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("connected: %v\ntree: %v\nforest: %v\n", g.IsConnected(), g.IsTree(), g.IsForest())
+	fmt.Fprintf(w, "topology: %s\n", name)
+	fmt.Fprintf(w, "nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
+	fmt.Fprintf(w, "connected: %v\ntree: %v\nforest: %v\n", g.IsConnected(), g.IsTree(), g.IsForest())
 	ds := stats.AnalyzeDegrees(g)
-	fmt.Printf("mean degree: %.3f\nmax degree: %d (%.4f of n-1)\n",
+	fmt.Fprintf(w, "mean degree: %.3f\nmax degree: %d (%.4f of n-1)\n",
 		ds.MeanDegree, ds.MaxDegree, ds.TopDegreeFrac)
-	fmt.Printf("degree tail: %s (power-law alpha=%.2f xmin=%d KS=%.3f; exp lambda=%.3f KS=%.3f; llr=%.2f)\n",
+	fmt.Fprintf(w, "degree tail: %s (power-law alpha=%.2f xmin=%d KS=%.3f; exp lambda=%.3f KS=%.3f; llr=%.2f)\n",
 		ds.Classification.Kind,
 		ds.Classification.PowerLaw.Alpha, ds.Classification.PowerLaw.XMin, ds.Classification.PowerLaw.KS,
 		ds.Classification.Exponential.Lambda, ds.Classification.Exponential.KS,
 		ds.Classification.LogLikRatio)
-	fmt.Printf("classification: %s\n", core.Classify(g))
-	fmt.Printf("clustering: %.4f\nassortativity: %.4f\n",
+	fmt.Fprintf(w, "classification: %s\n", core.Classify(g))
+	fmt.Fprintf(w, "clustering: %.4f\nassortativity: %.4f\n",
 		stats.ClusteringCoefficient(g), stats.DegreeAssortativity(g))
-	prof := metrics.ComputeProfile(g, *seed)
-	fmt.Printf("expansion@3: %.4f\nresilience: %.4f\ndistortion: %.3f\nhierarchy depth: %.3f\nspectral gap: %.4f\n",
+	prof := metrics.ComputeProfile(g, seed)
+	fmt.Fprintf(w, "expansion@3: %.4f\nresilience: %.4f\ndistortion: %.3f\nhierarchy depth: %.3f\nspectral gap: %.4f\n",
 		prof.ExpansionAt3, prof.Resilience, prof.Distortion, prof.HierarchyDepth, prof.SpectralGap)
 	if g.NumNodes() <= 2000 {
-		fmt.Printf("hop diameter: %d\n", g.HopDiameter())
+		fmt.Fprintf(w, "hop diameter: %d\n", g.HopDiameter())
 	}
-	if *ccdf {
-		fmt.Println("degree CCDF (k  P[D>=k]):")
+	if ccdf {
+		fmt.Fprintln(w, "degree CCDF (k  P[D>=k]):")
 		for _, pt := range stats.DegreeCCDF(g.Degrees()) {
-			fmt.Printf("  %4d  %.6f\n", pt.Value, pt.Frac)
+			fmt.Fprintf(w, "  %4d  %.6f\n", pt.Value, pt.Frac)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "topostats: %v\n", err)
-	os.Exit(1)
+	return nil
 }

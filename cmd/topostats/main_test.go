@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunValidJSON(t *testing.T) {
+	p := write(t, "topo.json", `{
+		"name": "tiny",
+		"nodes": [{"id": 0}, {"id": 1}, {"id": 2}],
+		"edges": [{"u": 0, "v": 1, "weight": 1}, {"u": 1, "v": 2, "weight": 1}]
+	}`)
+	var b strings.Builder
+	if err := run(p, false, false, 1, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"topology: tiny", "nodes: 3", "edges: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCorruptInputsFailWithoutOutput(t *testing.T) {
+	cases := []struct {
+		name    string
+		adj     bool
+		content string
+	}{
+		{"truncated.json", false, `{"name": "x", "nodes": [{"id": 0}`},
+		{"notjson.json", false, "certainly not json"},
+		{"trailing.json", false, `{"name": "x", "nodes": [{"id": 0}], "edges": []} trailing garbage`},
+		{"badedge.json", false, `{"name": "x", "nodes": [{"id": 0}], "edges": [{"u": 0, "v": 9}]}`},
+		{"sparseids.json", false, `{"name": "x", "nodes": [{"id": 0}, {"id": 5}], "edges": []}`},
+		{"empty.json", false, `{"name": "x", "nodes": [], "edges": []}`},
+		{"badline.txt", true, "0 1 1.0\nnot an edge\n"},
+		{"selfloop.txt", true, "3 3\n"},
+		{"empty.txt", true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := write(t, tc.name, tc.content)
+			var b strings.Builder
+			err := run(p, tc.adj, false, 1, nil, &b)
+			if err == nil {
+				t.Fatalf("corrupt input %q accepted", tc.name)
+			}
+			if b.Len() != 0 {
+				t.Fatalf("corrupt input %q produced partial output:\n%s", tc.name, b.String())
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, false, 1, nil, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -4,6 +4,18 @@
 // Willinger, "Toward an Optimization-Driven Framework for Designing and
 // Generating Realistic Internet Topologies" (HotNets-II, 2003).
 //
+// The primary entry point is the scenario API: every topology model in
+// the repository is registered by name in a Generator registry with
+// typed, validated, JSON-serializable parameters, and a declarative
+// Scenario (generate + measure + route + attack stages, replicated over
+// seeds) runs through an Engine that plumbs context.Context through
+// every long-running path, caches frozen CSR snapshots by scenario
+// identity, and reduces batches in a fixed order so output is
+// byte-identical at any worker count. See Generator, Scenario,
+// NewEngine, and cmd/toposcenario; `topogen -list` enumerates the
+// registry. The free functions below remain as direct, stable wrappers
+// over the same internals.
+//
 // The library is organized as the paper is:
 //
 //   - FKP and the generalized HOT growth framework (the paper's §3.1
@@ -33,9 +45,12 @@
 package hotgen
 
 import (
+	"context"
+
 	"repro/internal/access"
 	"repro/internal/anonymize"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/geom"
@@ -45,10 +60,79 @@ import (
 	"repro/internal/peering"
 	"repro/internal/robust"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/validate"
 )
+
+// Sentinel errors shared by every layer; test with errors.Is.
+var (
+	// ErrBadParam marks an invalid or out-of-range parameter value.
+	ErrBadParam = errs.ErrBadParam
+	// ErrCanceled marks work abandoned because its context was canceled.
+	ErrCanceled = errs.ErrCanceled
+	// ErrInfeasible marks a well-formed instance with no solution.
+	ErrInfeasible = errs.ErrInfeasible
+)
+
+// Scenario API: the registry-driven pipeline over the CSR kernel.
+type (
+	// Generator is one registered topology model: name, typed parameter
+	// specs, and a context-aware generation function.
+	Generator = scenario.Generator
+	// FuncGenerator adapts a function plus specs into a Generator.
+	FuncGenerator = scenario.FuncGenerator
+	// GeneratorRegistry maps model names to Generators.
+	GeneratorRegistry = scenario.Registry
+	// ParamSpec declares one generator parameter (kind, default, bounds).
+	ParamSpec = scenario.ParamSpec
+	// GenParams carries generator arguments by name (JSON numbers).
+	GenParams = scenario.Params
+	// Scenario is one declarative generate/measure/route/attack unit,
+	// replicated over seeds; it round-trips through JSON.
+	Scenario = scenario.Scenario
+	// GenerateSpec names the scenario's generator and parameters.
+	GenerateSpec = scenario.GenerateSpec
+	// MeasureSpec selects measurement families.
+	MeasureSpec = scenario.MeasureSpec
+	// RouteSpec evaluates the topology under a random traffic matrix.
+	RouteSpec = scenario.RouteSpec
+	// AttackSpec runs a robustness sweep.
+	AttackSpec = scenario.AttackSpec
+	// Engine executes scenarios with cancellation, a frozen-snapshot
+	// cache, and order-reduced (worker-count-independent) batches.
+	Engine = scenario.Engine
+	// EngineOptions tune a batch run.
+	EngineOptions = scenario.Options
+	// ScenarioResult is one scenario's replicated output.
+	ScenarioResult = scenario.Result
+	// ScenarioRepResult is one replication's output.
+	ScenarioRepResult = scenario.RepResult
+)
+
+// NewEngine returns a scenario engine over reg (nil = the default
+// registry holding every built-in model).
+func NewEngine(reg *GeneratorRegistry) *Engine { return scenario.NewEngine(reg) }
+
+// Generators lists every registered model name, sorted.
+func Generators() []string { return scenario.Names() }
+
+// RegisterGenerator adds a custom model to the default registry.
+func RegisterGenerator(g Generator) error { return scenario.Register(g) }
+
+// LookupGenerator resolves a model name in the default registry.
+func LookupGenerator(name string) (Generator, error) { return scenario.Lookup(name) }
+
+// GenerateByName validates params against the named model's specs and
+// generates a topology, honoring ctx.
+func GenerateByName(ctx context.Context, name string, p GenParams) (*Graph, error) {
+	return scenario.Default().GenerateByName(ctx, name, p)
+}
+
+// ParseScenarioSpec decodes a scenario spec document: one Scenario
+// object, a JSON array, or {"scenarios": [...]}.
+func ParseScenarioSpec(data []byte) ([]Scenario, error) { return scenario.ParseSpec(data) }
 
 // Graph and topology substrate.
 type (
@@ -134,8 +218,18 @@ type (
 // FKP grows a tree per the FKP model.
 func FKP(cfg FKPConfig) (*Graph, error) { return core.FKP(cfg) }
 
+// FKPContext is FKP with cancellation checked at every arrival.
+func FKPContext(ctx context.Context, cfg FKPConfig) (*Graph, error) {
+	return core.FKPContext(ctx, cfg)
+}
+
 // GrowHOT runs the generalized incremental optimization growth.
 func GrowHOT(cfg HOTConfig) (*Graph, *GrowthStats, error) { return core.GrowHOT(cfg) }
+
+// GrowHOTContext is GrowHOT with cancellation checked at every arrival.
+func GrowHOTContext(ctx context.Context, cfg HOTConfig) (*Graph, *GrowthStats, error) {
+	return core.GrowHOTContext(ctx, cfg)
+}
 
 // Classify assigns a TopologyClass to a generated graph.
 func Classify(g *Graph) TopologyClass { return core.Classify(g) }
@@ -358,6 +452,12 @@ const (
 // ComputeProfile evaluates the full [30]-style metric suite.
 func ComputeProfile(g *Graph, seed int64) Profile { return metrics.ComputeProfile(g, seed) }
 
+// ComputeProfileContext is ComputeProfile with cancellation and an
+// optional pre-frozen snapshot (nil freezes internally).
+func ComputeProfileContext(ctx context.Context, g *Graph, c *CSR, seed int64, workers int) (Profile, error) {
+	return metrics.ProfileContext(ctx, g, c, seed, workers)
+}
+
 // ClassifyTail decides power-law vs exponential on a degree sample.
 func ClassifyTail(degrees []int) TailClassification { return stats.ClassifyTail(degrees) }
 
@@ -366,9 +466,21 @@ func RouteShortestPaths(g *Graph, demands []Demand) (*RouteResult, error) {
 	return routing.RouteShortestPaths(g, demands)
 }
 
+// RouteShortestPathsContext is RouteShortestPaths with cancellation and
+// an optional pre-frozen snapshot (nil freezes internally).
+func RouteShortestPathsContext(ctx context.Context, g *Graph, c *CSR, demands []Demand) (*RouteResult, error) {
+	return routing.RouteShortestPathsContext(ctx, g, c, demands)
+}
+
 // RouteCapacitated routes demands with greedy admission control.
 func RouteCapacitated(g *Graph, demands []Demand) (*RouteResult, error) {
 	return routing.RouteCapacitated(g, demands)
+}
+
+// RouteCapacitatedContext is RouteCapacitated with cancellation and an
+// optional pre-frozen snapshot (nil freezes internally).
+func RouteCapacitatedContext(ctx context.Context, g *Graph, c *CSR, demands []Demand) (*RouteResult, error) {
+	return routing.RouteCapacitatedContext(ctx, g, c, demands)
 }
 
 // MaxMinResult is the outcome of fair rate allocation.
@@ -378,6 +490,12 @@ type MaxMinResult = routing.MaxMinResult
 // of elastic demands over their shortest paths.
 func MaxMinFair(g *Graph, demands []Demand) (*MaxMinResult, error) {
 	return routing.MaxMinFair(g, demands)
+}
+
+// MaxMinFairContext is MaxMinFair with cancellation and an optional
+// pre-frozen snapshot (nil freezes internally).
+func MaxMinFairContext(ctx context.Context, g *Graph, c *CSR, demands []Demand) (*MaxMinResult, error) {
+	return routing.MaxMinFairContext(ctx, g, c, demands)
 }
 
 // ExactAccessOPT computes the exact optimal buy-at-bulk tree cost for a
@@ -391,6 +509,20 @@ func ExactAccessOPT(in *AccessInstance) (float64, []int, error) {
 // RobustnessSweep reports the largest-component curve under removals.
 func RobustnessSweep(g *Graph, strat AttackStrategy, fracs []float64, trials int, seed int64) ([]robust.SweepPoint, error) {
 	return robust.Sweep(g, strat, fracs, trials, seed)
+}
+
+// RobustnessSweepContext is RobustnessSweep with cancellation, an
+// optional pre-frozen snapshot (nil freezes internally), and an
+// explicit worker bound (<= 0 = GOMAXPROCS).
+func RobustnessSweepContext(ctx context.Context, g *Graph, c *CSR, strat AttackStrategy, fracs []float64, trials int, seed int64, workers int) ([]robust.SweepPoint, error) {
+	return robust.SweepContext(ctx, g, c, strat, fracs, trials, seed, workers)
+}
+
+// ParseAttackStrategy maps a strategy name ("random", "degree",
+// "betweenness", "adaptive-degree", with or without the
+// "-attack"/"-failure" suffix) to its AttackStrategy.
+func ParseAttackStrategy(name string) (AttackStrategy, error) {
+	return robust.ParseStrategy(name)
 }
 
 // Experiments: the E1–E9 harness used by cmd/experiments and the benches.

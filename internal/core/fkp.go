@@ -20,9 +20,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/errs"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -77,16 +79,17 @@ func (c *FKPConfig) withDefaults() FKPConfig {
 	return out
 }
 
-// Validate reports a configuration error, or nil.
+// Validate reports a configuration error (wrapping errs.ErrBadParam), or
+// nil.
 func (c *FKPConfig) Validate() error {
 	if c.N < 1 {
-		return fmt.Errorf("core: FKP N = %d, need >= 1", c.N)
+		return errs.BadParamf("core: FKP N = %d, need >= 1", c.N)
 	}
 	if c.Alpha < 0 {
-		return fmt.Errorf("core: FKP Alpha = %v, need >= 0", c.Alpha)
+		return errs.BadParamf("core: FKP Alpha = %v, need >= 0", c.Alpha)
 	}
 	if c.MaxDegree < 0 {
-		return fmt.Errorf("core: FKP MaxDegree = %d, need >= 0", c.MaxDegree)
+		return errs.BadParamf("core: FKP MaxDegree = %d, need >= 0", c.MaxDegree)
 	}
 	return nil
 }
@@ -95,6 +98,13 @@ func (c *FKPConfig) Validate() error {
 // The result is always a spanning tree of the arrived nodes (each arrival
 // adds exactly one edge), with edge weights set to Euclidean length.
 func FKP(cfg FKPConfig) (*graph.Graph, error) {
+	return FKPContext(context.Background(), cfg)
+}
+
+// FKPContext is FKP with cancellation: the growth loop checks ctx at
+// every arrival and returns an errs.ErrCanceled-wrapping error when the
+// context is done.
+func FKPContext(ctx context.Context, cfg FKPConfig) (*graph.Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,6 +125,9 @@ func FKP(cfg FKPConfig) (*graph.Graph, error) {
 	sumHops[0] = 0
 
 	for i := 1; i < c.N; i++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("core: FKP at arrival %d: %w", i, err)
+		}
 		p := c.Region.RandomPoint(r)
 		bestJ := -1
 		bestCost := 0.0
@@ -139,7 +152,7 @@ func FKP(cfg FKPConfig) (*graph.Graph, error) {
 			}
 		}
 		if bestJ == -1 {
-			return nil, fmt.Errorf("core: no feasible attachment for node %d (MaxDegree=%d too tight)", i, c.MaxDegree)
+			return nil, errs.Infeasiblef("core: no feasible attachment for node %d (MaxDegree=%d too tight)", i, c.MaxDegree)
 		}
 		id := g.AddNode(graph.Node{Kind: graph.KindCustomer, X: p.X, Y: p.Y})
 		w := p.Dist(geom.Point{X: g.Node(bestJ).X, Y: g.Node(bestJ).Y})

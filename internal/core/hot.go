@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -134,19 +136,20 @@ type HOTConfig struct {
 	Arrivals []geom.Point
 }
 
-// Validate reports a configuration error, or nil.
+// Validate reports a configuration error (wrapping errs.ErrBadParam), or
+// nil.
 func (c *HOTConfig) Validate() error {
 	if c.N < 1 {
-		return fmt.Errorf("core: HOT N = %d, need >= 1", c.N)
+		return errs.BadParamf("core: HOT N = %d, need >= 1", c.N)
 	}
 	if len(c.Terms) == 0 {
-		return fmt.Errorf("core: HOT needs at least one objective term")
+		return errs.BadParamf("core: HOT needs at least one objective term")
 	}
 	if c.LinksPerArrival < 0 {
-		return fmt.Errorf("core: LinksPerArrival = %d, need >= 0", c.LinksPerArrival)
+		return errs.BadParamf("core: LinksPerArrival = %d, need >= 0", c.LinksPerArrival)
 	}
 	if c.Arrivals != nil && len(c.Arrivals) < c.N-1 {
-		return fmt.Errorf("core: Arrivals holds %d points, need >= N-1 = %d", len(c.Arrivals), c.N-1)
+		return errs.BadParamf("core: Arrivals holds %d points, need >= N-1 = %d", len(c.Arrivals), c.N-1)
 	}
 	return nil
 }
@@ -162,6 +165,13 @@ func (c *HOTConfig) Validate() error {
 // Stats.ConstraintViolations counts such arrivals. (A real ISP must
 // connect the customer somehow — it deploys a bigger router.)
 func GrowHOT(cfg HOTConfig) (*graph.Graph, *GrowthStats, error) {
+	return GrowHOTContext(context.Background(), cfg)
+}
+
+// GrowHOTContext is GrowHOT with cancellation: the growth loop checks
+// ctx at every arrival and returns an errs.ErrCanceled-wrapping error
+// when the context is done.
+func GrowHOTContext(ctx context.Context, cfg HOTConfig) (*graph.Graph, *GrowthStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -190,6 +200,9 @@ func GrowHOT(cfg HOTConfig) (*graph.Graph, *GrowthStats, error) {
 		cost float64
 	}
 	for i := 1; i < cfg.N; i++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, nil, fmt.Errorf("core: HOT at arrival %d: %w", i, err)
+		}
 		var p geom.Point
 		if cfg.Arrivals != nil {
 			p = cfg.Arrivals[i-1]

@@ -1,0 +1,51 @@
+// Package errs defines the sentinel errors shared by every layer of the
+// repository, so callers can classify failures with errors.Is instead of
+// string matching. Generators wrap parameter-validation failures with
+// ErrBadParam and unsatisfiable instances with ErrInfeasible; the
+// scenario engine and every context-aware long-running path wrap
+// cancellation with ErrCanceled.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Wrap them with fmt.Errorf("...: %w", ...) so callers
+// can test with errors.Is.
+var (
+	// ErrBadParam marks an invalid or out-of-range parameter value.
+	ErrBadParam = errors.New("bad parameter")
+	// ErrCanceled marks work abandoned because its context was canceled
+	// or its deadline expired.
+	ErrCanceled = errors.New("canceled")
+	// ErrInfeasible marks a well-formed instance that admits no solution
+	// (e.g. a degree cap too tight to attach an arrival).
+	ErrInfeasible = errors.New("infeasible")
+)
+
+// BadParamf builds an ErrBadParam-wrapping error with a formatted
+// description.
+func BadParamf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadParam)...)
+}
+
+// Infeasiblef builds an ErrInfeasible-wrapping error with a formatted
+// description.
+func Infeasiblef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrInfeasible)...)
+}
+
+// Ctx reports whether ctx is done, wrapping the cause in ErrCanceled.
+// Long-running loops call it at iteration boundaries; it returns nil
+// while the context is live.
+func Ctx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if cause := ctx.Err(); cause != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, cause)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWrapHelpers(t *testing.T) {
+	err := BadParamf("gen: n = %d", -1)
+	if !errors.Is(err, ErrBadParam) {
+		t.Fatalf("BadParamf result does not match ErrBadParam: %v", err)
+	}
+	if got := err.Error(); got != "gen: n = -1: bad parameter" {
+		t.Fatalf("unexpected message %q", got)
+	}
+	if !errors.Is(Infeasiblef("no attachment for node %d", 7), ErrInfeasible) {
+		t.Fatal("Infeasiblef result does not match ErrInfeasible")
+	}
+}
+
+func TestCtx(t *testing.T) {
+	if err := Ctx(context.Background()); err != nil {
+		t.Fatalf("live context reported %v", err)
+	}
+	if err := Ctx(nil); err != nil { //nolint:staticcheck // nil tolerance is part of the contract
+		t.Fatalf("nil context reported %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Ctx(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context gave %v, want ErrCanceled", err)
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// TestOptionsContextCancellation asserts every experiment that fans
+// replications out through mapUnits aborts with an ErrCanceled-wrapping
+// error when Options.Context is already done.
+func TestOptionsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			_, err := r.Run(Options{Seed: 1, Scale: 0.1, Reps: 2, Context: ctx})
+			if err == nil {
+				// Experiments whose work happens outside mapUnits may
+				// still finish; that is acceptable as long as those that
+				// do fail classify correctly.
+				t.Skipf("%s completed before observing cancellation", r.ID)
+			}
+			if !errors.Is(err, errs.ErrCanceled) {
+				t.Fatalf("%s gave %v, want ErrCanceled", r.ID, err)
+			}
+		})
+	}
+}

@@ -5,9 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/errs"
 	"repro/internal/par"
 )
 
@@ -22,6 +24,17 @@ type Options struct {
 	// experiment reduces per-rep results in a fixed order, so tables are
 	// byte-identical for any Workers value.
 	Workers int
+	// Context, when non-nil, cancels a run between replications: every
+	// unit fanned out through mapUnits checks it before starting and the
+	// run returns an errs.ErrCanceled-wrapping error once it is done.
+	Context context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) scale(n int) int {
@@ -49,8 +62,12 @@ func (o Options) reps(def int) int {
 // ordered slice sequentially, which keeps every table byte-identical for
 // any Workers setting. On failure the lowest-index error is returned.
 func mapUnits[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	ctx := o.ctx()
 	out := make([]T, n)
 	err := par.ForEachErr(o.Workers, n, func(i int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return fmt.Errorf("experiments: unit %d: %w", i, err)
+		}
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -83,11 +83,21 @@ func WriteJSON(w io.Writer, g *graph.Graph, name string) error {
 }
 
 // ReadJSON parses a topology previously written by WriteJSON. Node kinds
-// it does not recognize become KindUnknown.
+// it does not recognize become KindUnknown. Trailing content after the
+// document is rejected, so a truncated-then-recovered or concatenated
+// file fails loudly instead of yielding a partial topology.
 func ReadJSON(r io.Reader) (*graph.Graph, string, error) {
 	var doc jsonTopology
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
 		return nil, "", fmt.Errorf("export: decode JSON: %w", err)
+	}
+	switch _, err := dec.Token(); {
+	case err == io.EOF:
+	case err != nil:
+		return nil, "", fmt.Errorf("export: after topology document: %w", err)
+	default:
+		return nil, "", fmt.Errorf("export: trailing data after topology document")
 	}
 	g := graph.New(len(doc.Nodes))
 	// IDs must be dense 0..n-1; enforce by sorting and checking.

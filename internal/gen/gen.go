@@ -11,10 +11,12 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -23,8 +25,14 @@ import (
 // ErdosRenyiGNP samples G(n, p): each of the C(n,2) edges present
 // independently with probability p.
 func ErdosRenyiGNP(n int, p float64, seed int64) (*graph.Graph, error) {
+	return ErdosRenyiGNPContext(context.Background(), n, p, seed)
+}
+
+// ErdosRenyiGNPContext is ErdosRenyiGNP with cancellation, checked once
+// per source row of the pair loop.
+func ErdosRenyiGNPContext(ctx context.Context, n int, p float64, seed int64) (*graph.Graph, error) {
 	if n < 0 || p < 0 || p > 1 {
-		return nil, fmt.Errorf("gen: bad G(n,p) parameters n=%d p=%v", n, p)
+		return nil, errs.BadParamf("gen: bad G(n,p) parameters n=%d p=%v", n, p)
 	}
 	r := rng.New(seed)
 	g := graph.New(n)
@@ -32,6 +40,9 @@ func ErdosRenyiGNP(n int, p float64, seed int64) (*graph.Graph, error) {
 		g.AddNode(graph.Node{X: r.Float64(), Y: r.Float64()})
 	}
 	for u := 0; u < n; u++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("gen: G(n,p): %w", err)
+		}
 		for v := u + 1; v < n; v++ {
 			if r.Float64() < p {
 				g.AddEdge(graph.Edge{U: u, V: v, Weight: 1})
@@ -45,8 +56,14 @@ func ErdosRenyiGNP(n int, p float64, seed int64) (*graph.Graph, error) {
 // ErdosRenyiGNM samples G(n, m): exactly m distinct edges uniformly at
 // random. m is clamped to C(n,2).
 func ErdosRenyiGNM(n, m int, seed int64) (*graph.Graph, error) {
+	return ErdosRenyiGNMContext(context.Background(), n, m, seed)
+}
+
+// ErdosRenyiGNMContext is ErdosRenyiGNM with cancellation, checked
+// periodically while drawing edges.
+func ErdosRenyiGNMContext(ctx context.Context, n, m int, seed int64) (*graph.Graph, error) {
 	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("gen: bad G(n,m) parameters n=%d m=%d", n, m)
+		return nil, errs.BadParamf("gen: bad G(n,m) parameters n=%d m=%d", n, m)
 	}
 	maxM := n * (n - 1) / 2
 	if m > maxM {
@@ -59,6 +76,11 @@ func ErdosRenyiGNM(n, m int, seed int64) (*graph.Graph, error) {
 	}
 	seen := make(map[[2]int]bool, m)
 	for g.NumEdges() < m {
+		if g.NumEdges()%1024 == 0 {
+			if err := errs.Ctx(ctx); err != nil {
+				return nil, fmt.Errorf("gen: G(n,m): %w", err)
+			}
+		}
 		u, v := r.Intn(n), r.Intn(n)
 		if u == v {
 			continue
@@ -81,8 +103,14 @@ func ErdosRenyiGNM(n, m int, seed int64) (*graph.Graph, error) {
 // uniform in the unit square and edge (u,v) appears with probability
 // beta * exp(-d(u,v) / (alpha * L)), L the maximum possible distance.
 func Waxman(n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
+	return WaxmanContext(context.Background(), n, alpha, beta, seed)
+}
+
+// WaxmanContext is Waxman with cancellation, checked once per source row
+// of the pair loop.
+func WaxmanContext(ctx context.Context, n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
 	if n < 0 || alpha <= 0 || beta <= 0 || beta > 1 {
-		return nil, fmt.Errorf("gen: bad Waxman parameters n=%d alpha=%v beta=%v", n, alpha, beta)
+		return nil, errs.BadParamf("gen: bad Waxman parameters n=%d alpha=%v beta=%v", n, alpha, beta)
 	}
 	r := rng.New(seed)
 	g := graph.New(n)
@@ -92,6 +120,9 @@ func Waxman(n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
 	}
 	l := geom.UnitSquare.Diagonal()
 	for u := 0; u < n; u++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("gen: Waxman: %w", err)
+		}
 		for v := u + 1; v < n; v++ {
 			d := pts[u].Dist(pts[v])
 			if r.Float64() < beta*math.Exp(-d/(alpha*l)) {
@@ -107,8 +138,14 @@ func Waxman(n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
 // to their current degree. The seed graph is a star on m+1 nodes, so
 // every arrival can find m distinct targets.
 func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
+	return BarabasiAlbertContext(context.Background(), n, m, seed)
+}
+
+// BarabasiAlbertContext is BarabasiAlbert with cancellation, checked at
+// every arrival.
+func BarabasiAlbertContext(ctx context.Context, n, m int, seed int64) (*graph.Graph, error) {
 	if m < 1 || n < m+1 {
-		return nil, fmt.Errorf("gen: BA requires m >= 1 and n >= m+1 (n=%d m=%d)", n, m)
+		return nil, errs.BadParamf("gen: BA requires m >= 1 and n >= m+1 (n=%d m=%d)", n, m)
 	}
 	r := rng.New(seed)
 	g := graph.New(n)
@@ -122,6 +159,9 @@ func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
 		ends = append(ends, 0, i)
 	}
 	for i := m + 1; i < n; i++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("gen: BA at arrival %d: %w", i, err)
+		}
 		id := g.AddNode(graph.Node{X: r.Float64(), Y: r.Float64()})
 		seen := map[int]bool{}
 		targets := make([]int, 0, m)
@@ -147,8 +187,13 @@ func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
 // links; targets are chosen with probability proportional to
 // (degree - beta), beta < 1 tuning the preference strength.
 func GLP(n, m int, p, beta float64, seed int64) (*graph.Graph, error) {
+	return GLPContext(context.Background(), n, m, p, beta, seed)
+}
+
+// GLPContext is GLP with cancellation, checked at every growth step.
+func GLPContext(ctx context.Context, n, m int, p, beta float64, seed int64) (*graph.Graph, error) {
 	if m < 1 || n < m+1 || p < 0 || p >= 1 || beta >= 1 {
-		return nil, fmt.Errorf("gen: bad GLP parameters n=%d m=%d p=%v beta=%v", n, m, p, beta)
+		return nil, errs.BadParamf("gen: bad GLP parameters n=%d m=%d p=%v beta=%v", n, m, p, beta)
 	}
 	r := rng.New(seed)
 	g := graph.New(n)
@@ -175,6 +220,9 @@ func GLP(n, m int, p, beta float64, seed int64) (*graph.Graph, error) {
 		return rng.WeightedChoice(r, weights)
 	}
 	for g.NumNodes() < n {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("gen: GLP: %w", err)
+		}
 		if r.Float64() < p {
 			// Add m internal links.
 			for k := 0; k < m; k++ {
@@ -215,11 +263,17 @@ type TransitStubConfig struct {
 // StubsPerTransit stub domains; domains are internally connected (random
 // spanning tree + extra random edges with EdgeProb).
 func TransitStub(cfg TransitStubConfig) (*graph.Graph, error) {
+	return TransitStubContext(context.Background(), cfg)
+}
+
+// TransitStubContext is TransitStub with cancellation, checked per
+// transit router while sponsoring stub domains.
+func TransitStubContext(ctx context.Context, cfg TransitStubConfig) (*graph.Graph, error) {
 	if cfg.TransitDomains < 1 || cfg.TransitSize < 1 || cfg.StubsPerTransit < 0 || cfg.StubSize < 1 {
-		return nil, fmt.Errorf("gen: bad transit-stub config %+v", cfg)
+		return nil, errs.BadParamf("gen: bad transit-stub config %+v", cfg)
 	}
 	if cfg.EdgeProb < 0 || cfg.EdgeProb > 1 {
-		return nil, fmt.Errorf("gen: bad transit-stub edge probability %v", cfg.EdgeProb)
+		return nil, errs.BadParamf("gen: bad transit-stub edge probability %v", cfg.EdgeProb)
 	}
 	r := rng.New(cfg.Seed)
 	g := graph.New(0)
@@ -266,6 +320,9 @@ func TransitStub(cfg TransitStubConfig) (*graph.Graph, error) {
 	// Stub domains per transit router.
 	for d := range transit {
 		for _, tr := range transit[d] {
+			if err := errs.Ctx(ctx); err != nil {
+				return nil, fmt.Errorf("gen: transit-stub: %w", err)
+			}
 			for s := 0; s < cfg.StubsPerTransit; s++ {
 				node := g.Node(tr)
 				anchor := geom.Point{X: node.X, Y: node.Y}
@@ -291,17 +348,23 @@ func TransitStub(cfg TransitStubConfig) (*graph.Graph, error) {
 // from the target by a few stubs when the sequence is hard to realize
 // simply (counted in DroppedStubs).
 func ConfigurationModel(degrees []int, seed int64) (*graph.Graph, int, error) {
+	return ConfigurationModelContext(context.Background(), degrees, seed)
+}
+
+// ConfigurationModelContext is ConfigurationModel with cancellation,
+// checked between the matching and repair phases.
+func ConfigurationModelContext(ctx context.Context, degrees []int, seed int64) (*graph.Graph, int, error) {
 	n := len(degrees)
 	if n == 0 {
-		return nil, 0, fmt.Errorf("gen: empty degree sequence")
+		return nil, 0, errs.BadParamf("gen: empty degree sequence")
 	}
 	total := 0
 	for i, d := range degrees {
 		if d < 0 {
-			return nil, 0, fmt.Errorf("gen: negative degree at %d", i)
+			return nil, 0, errs.BadParamf("gen: negative degree at %d", i)
 		}
 		if d >= n {
-			return nil, 0, fmt.Errorf("gen: degree %d at node %d impossible in a simple graph of %d nodes", d, i, n)
+			return nil, 0, errs.BadParamf("gen: degree %d at node %d impossible in a simple graph of %d nodes", d, i, n)
 		}
 		total += d
 	}
@@ -338,6 +401,9 @@ func ConfigurationModel(degrees []int, seed int64) (*graph.Graph, int, error) {
 		}
 		seen[pair{u, v}] = true
 		g.AddEdge(graph.Edge{U: u, V: v, Weight: 1})
+	}
+	if err := errs.Ctx(ctx); err != nil {
+		return nil, 0, fmt.Errorf("gen: configuration model: %w", err)
 	}
 	// Repair leftovers by double edge swaps: pick a random existing edge
 	// (x,y) and rewire (u,x),(v,y) when all four edges stay simple.
@@ -410,11 +476,17 @@ func ordered(a, b int) (int, int) {
 // components to the largest one (attaching at their highest-degree
 // nodes, as Inet's spanning-tree phase effectively does).
 func InetLike(n int, alpha float64, seed int64) (*graph.Graph, error) {
+	return InetLikeContext(context.Background(), n, alpha, seed)
+}
+
+// InetLikeContext is InetLike with cancellation, threaded through the
+// underlying configuration-model realization.
+func InetLikeContext(ctx context.Context, n int, alpha float64, seed int64) (*graph.Graph, error) {
 	if n < 3 {
-		return nil, fmt.Errorf("gen: InetLike needs n >= 3")
+		return nil, errs.BadParamf("gen: InetLike needs n >= 3 (n=%d)", n)
 	}
 	if alpha <= 1 {
-		return nil, fmt.Errorf("gen: InetLike needs alpha > 1")
+		return nil, errs.BadParamf("gen: InetLike needs alpha > 1 (alpha=%v)", alpha)
 	}
 	r := rng.New(seed)
 	maxDeg := n / 4
@@ -453,7 +525,7 @@ func InetLike(n int, alpha float64, seed int64) (*graph.Graph, error) {
 	if sum%2 == 1 {
 		degrees[0]++
 	}
-	g, _, err := ConfigurationModel(degrees, rng.Derive(seed, 1))
+	g, _, err := ConfigurationModelContext(ctx, degrees, rng.Derive(seed, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -490,8 +562,14 @@ func InetLike(n int, alpha float64, seed int64) (*graph.Graph, error) {
 // RandomGeometric connects all pairs of n uniform points within the given
 // radius — the simplest "technology reach" null model.
 func RandomGeometric(n int, radius float64, seed int64) (*graph.Graph, error) {
+	return RandomGeometricContext(context.Background(), n, radius, seed)
+}
+
+// RandomGeometricContext is RandomGeometric with cancellation, checked
+// once per source node.
+func RandomGeometricContext(ctx context.Context, n int, radius float64, seed int64) (*graph.Graph, error) {
 	if n < 0 || radius < 0 {
-		return nil, fmt.Errorf("gen: bad RGG parameters n=%d radius=%v", n, radius)
+		return nil, errs.BadParamf("gen: bad RGG parameters n=%d radius=%v", n, radius)
 	}
 	r := rng.New(seed)
 	pts := geom.UnitSquare.RandomPoints(r, n)
@@ -501,6 +579,9 @@ func RandomGeometric(n int, radius float64, seed int64) (*graph.Graph, error) {
 	}
 	tree := geom.NewKDTree(pts)
 	for u := 0; u < n; u++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("gen: RGG: %w", err)
+		}
 		for _, v := range tree.RangeSearch(pts[u], radius) {
 			if v > u {
 				g.AddEdge(graph.Edge{U: u, V: v, Weight: pts[u].Dist(pts[v])})

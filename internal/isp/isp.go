@@ -7,10 +7,13 @@
 package isp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/errs"
 
 	"repro/internal/access"
 	"repro/internal/geom"
@@ -167,6 +170,13 @@ func (d *Design) TotalCost() float64 { return d.AccessCost + d.BackboneCost }
 
 // Build designs the ISP.
 func Build(cfg Config) (*Design, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build with cancellation: the context is checked
+// between design stages and before each metro buildout, returning an
+// errs.ErrCanceled-wrapping error when it is done.
+func BuildContext(ctx context.Context, cfg Config) (*Design, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -190,12 +200,15 @@ func Build(cfg Config) (*Design, error) {
 	}
 
 	// --- 2. Backbone design -----------------------------------------------
+	if err := errs.Ctx(ctx); err != nil {
+		return nil, fmt.Errorf("isp: before backbone design: %w", err)
+	}
 	if err := buildBackbone(&c, des); err != nil {
 		return nil, err
 	}
 
 	// --- 3. Metro access networks ------------------------------------------
-	if err := buildMetros(&c, des); err != nil {
+	if err := buildMetros(ctx, &c, des); err != nil {
 		return nil, err
 	}
 	return des, nil
@@ -338,7 +351,7 @@ func buildBackbone(c *Config, des *Design) error {
 
 // buildMetros runs buy-at-bulk access design per POP metro and merges the
 // results into the design graph.
-func buildMetros(c *Config, des *Design) error {
+func buildMetros(ctx context.Context, c *Config, des *Design) error {
 	geo := c.Geography
 	g := des.Graph
 	// Distribute customers over POP cities by population share.
@@ -352,6 +365,9 @@ func buildMetros(c *Config, des *Design) error {
 	sigmaThin := c.Catalog[0].Install
 
 	for pi, popID := range des.POPs {
+		if err := errs.Ctx(ctx); err != nil {
+			return fmt.Errorf("isp: metro %d: %w", pi, err)
+		}
 		nCust := alloc[pi]
 		if nCust == 0 {
 			continue

@@ -10,13 +10,19 @@
 // ComputeProfile freezes the graph into one shared CSR snapshot
 // (internal/graph) and evaluates the metric families concurrently, each
 // on pooled workspaces; every reduction is performed in a fixed order,
-// so results are identical for any worker count.
+// so results are identical for any worker count. ProfileContext is the
+// cancellable variant used by the scenario engine: it accepts a
+// caller-provided frozen snapshot (so cached topologies are never
+// re-frozen) and checks its context at iteration boundaries, returning
+// an errs.ErrCanceled-wrapping error when the context is done.
 package metrics
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -30,19 +36,23 @@ import (
 // sampleSources bounds the number of BFS sources (all nodes if <= 0 or
 // larger than n); sources are chosen deterministically from seed.
 func Expansion(g *graph.Graph, maxH, sampleSources int, seed int64) []float64 {
-	return expansionCSR(g.Freeze(), maxH, sampleSources, seed, 0)
+	out, _ := expansionCSR(context.Background(), g.Freeze(), maxH, sampleSources, seed, 0)
+	return out
 }
 
-func expansionCSR(c *graph.CSR, maxH, sampleSources int, seed int64, workers int) []float64 {
+func expansionCSR(ctx context.Context, c *graph.CSR, maxH, sampleSources int, seed int64, workers int) ([]float64, error) {
 	n := c.NumNodes()
 	if n == 0 || maxH <= 0 {
-		return nil
+		return nil, nil
 	}
 	sources := chooseSources(n, sampleSources, seed)
 	// One hop-histogram row per source, filled in parallel (disjoint
 	// writes), then reduced in source order for determinism.
 	counts := make([][]int, len(sources))
-	par.ForEach(workers, len(sources), func(si int) {
+	err := par.ForEachErr(workers, len(sources), func(si int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return err
+		}
 		ws := graph.GetWorkspace(n)
 		defer ws.Release()
 		c.BFS(ws, sources[si])
@@ -53,7 +63,11 @@ func expansionCSR(c *graph.CSR, maxH, sampleSources int, seed int64, workers int
 			}
 		}
 		counts[si] = row
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, maxH+1)
 	for _, row := range counts {
 		acc := 0
@@ -65,7 +79,7 @@ func expansionCSR(c *graph.CSR, maxH, sampleSources int, seed int64, workers int
 	for h := range out {
 		out[h] /= float64(len(sources))
 	}
-	return out
+	return out, nil
 }
 
 // Resilience measures how gracefully connectivity degrades under random
@@ -78,16 +92,20 @@ func expansionCSR(c *graph.CSR, maxH, sampleSources int, seed int64, workers int
 // largest component on the shared snapshot — no subgraph copies — and
 // trials run in parallel.
 func Resilience(g *graph.Graph, steps, trials int, seed int64) float64 {
-	return resilienceCSR(g.Freeze(), steps, trials, seed, 0)
+	out, _ := resilienceCSR(context.Background(), g.Freeze(), steps, trials, seed, 0)
+	return out
 }
 
-func resilienceCSR(c *graph.CSR, steps, trials int, seed int64, workers int) float64 {
+func resilienceCSR(ctx context.Context, c *graph.CSR, steps, trials int, seed int64, workers int) (float64, error) {
 	n := c.NumNodes()
 	if n == 0 || steps <= 0 || trials <= 0 {
-		return 0
+		return 0, nil
 	}
 	perTrial := make([]float64, trials)
-	par.ForEach(workers, trials, func(trial int) {
+	err := par.ForEachErr(workers, trials, func(trial int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return err
+		}
 		r := rng.New(rng.Derive(seed, trial))
 		perm := rng.Shuffle(r, n)
 		ws := graph.GetWorkspace(n)
@@ -104,12 +122,16 @@ func resilienceCSR(c *graph.CSR, steps, trials int, seed int64, workers int) flo
 			sum += float64(c.LargestComponentMasked(ws, removed)) / float64(n)
 		}
 		perTrial[trial] = sum
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
 	for _, s := range perTrial {
 		total += s
 	}
-	return total / float64(steps*trials)
+	return total / float64(steps*trials), nil
 }
 
 // Distortion measures how well the graph's own spanning structure
@@ -124,14 +146,15 @@ func resilienceCSR(c *graph.CSR, steps, trials int, seed int64, workers int) flo
 // hop distance between u and v in T, with the per-source tree BFS runs
 // fanned out across the worker pool.
 func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
-	return distortion(g, sampleEdges, seed, 0)
+	out, _ := distortion(context.Background(), g, sampleEdges, seed, 0)
+	return out
 }
 
-func distortion(g *graph.Graph, sampleEdges int, seed int64, workers int) float64 {
+func distortion(ctx context.Context, g *graph.Graph, sampleEdges int, seed int64, workers int) (float64, error) {
 	m := g.NumEdges()
 	n := g.NumNodes()
 	if m == 0 || n == 0 {
-		return 0
+		return 0, nil
 	}
 	// Build MST as its own graph.
 	mstIDs, _ := g.KruskalMST()
@@ -170,7 +193,10 @@ func distortion(g *graph.Graph, sampleEdges int, seed int64, workers int) float6
 		count int
 	}
 	perSrc := make([]partial, len(srcs))
-	par.ForEach(workers, len(srcs), func(si int) {
+	err := par.ForEachErr(workers, len(srcs), func(si int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return err
+		}
 		ws := graph.GetWorkspace(n)
 		defer ws.Release()
 		tc.BFS(ws, srcs[si])
@@ -182,7 +208,11 @@ func distortion(g *graph.Graph, sampleEdges int, seed int64, workers int) float6
 			}
 		}
 		perSrc[si] = p
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	total := 0.0
 	count := 0
 	for _, p := range perSrc {
@@ -190,9 +220,9 @@ func distortion(g *graph.Graph, sampleEdges int, seed int64, workers int) float6
 		count += p.count
 	}
 	if count == 0 {
-		return 0
+		return 0, nil
 	}
-	return total / float64(count)
+	return total / float64(count), nil
 }
 
 // HierarchyDepth classifies how tree-like / layered a rooted topology is:
@@ -235,14 +265,15 @@ func SpectralGap(g *graph.Graph, iters int) float64 {
 	if !g.IsConnected() {
 		return 0
 	}
-	return spectralGapCSR(g.Freeze(), iters)
+	out, _ := spectralGapCSR(context.Background(), g.Freeze(), iters)
+	return out
 }
 
 // spectralGapCSR assumes the snapshot is of a connected graph.
-func spectralGapCSR(c *graph.CSR, iters int) float64 {
+func spectralGapCSR(ctx context.Context, c *graph.CSR, iters int) (float64, error) {
 	n := c.NumNodes()
 	if n < 2 {
-		return 0
+		return 0, nil
 	}
 	if iters <= 0 {
 		iters = 200
@@ -274,6 +305,9 @@ func spectralGapCSR(c *graph.CSR, iters int) float64 {
 	y := make([]float64, n)
 	var mu float64
 	for it := 0; it < iters; it++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return 0, err
+		}
 		// Deflate: x ← x - (v1·x) v1.
 		dot := 0.0
 		for i := range x {
@@ -306,7 +340,7 @@ func spectralGapCSR(c *graph.CSR, iters int) float64 {
 			den += x[i] * x[i]
 		}
 		if den == 0 {
-			return 0
+			return 0, nil
 		}
 		shifted := num / den
 		mu = 2*shifted - 1
@@ -317,7 +351,7 @@ func spectralGapCSR(c *graph.CSR, iters int) float64 {
 		}
 		ynorm = math.Sqrt(ynorm)
 		if ynorm == 0 {
-			return 0
+			return 0, nil
 		}
 		for i := range y {
 			x[i] = y[i] / ynorm
@@ -327,7 +361,7 @@ func spectralGapCSR(c *graph.CSR, iters int) float64 {
 	if lambda2 < 0 {
 		lambda2 = 0
 	}
-	return lambda2
+	return lambda2, nil
 }
 
 // Profile bundles the comparison metrics for one topology, as used by
@@ -358,30 +392,56 @@ func ComputeProfile(g *graph.Graph, seed int64) Profile {
 // scheduler time-shares them, so workers=1 is the meaningful sequential
 // baseline and larger values trade precision of the bound for scaling.
 func ComputeProfileParallel(g *graph.Graph, seed int64, workers int) Profile {
+	p, _ := ProfileContext(context.Background(), g, nil, seed, workers)
+	return p
+}
+
+// ProfileContext is ComputeProfileParallel with cancellation and an
+// optional pre-frozen snapshot: pass the CSR from an earlier Freeze of g
+// to skip re-freezing (nil freezes internally). Every metric family
+// checks ctx at its iteration boundaries; the first (lowest family
+// index) cancellation or failure is returned.
+func ProfileContext(ctx context.Context, g *graph.Graph, c *graph.CSR, seed int64, workers int) (Profile, error) {
 	p := Profile{
 		Nodes:     g.NumNodes(),
 		Edges:     g.NumEdges(),
 		MaxDegree: g.MaxDegree(),
 	}
-	c := g.Freeze()
+	if c == nil {
+		c = g.Freeze()
+	}
 	connected := g.IsConnected()
+	famErr := make([]error, 5)
 	par.Do(workers,
 		func() {
-			exp := expansionCSR(c, 3, 50, seed, workers)
+			exp, err := expansionCSR(ctx, c, 3, 50, seed, workers)
+			if err != nil {
+				famErr[0] = err
+				return
+			}
 			if len(exp) > 3 {
 				p.ExpansionAt3 = exp[3]
 			}
 		},
-		func() { p.Resilience = resilienceCSR(c, 10, 3, seed, workers) },
-		func() { p.Distortion = distortion(g, 2000, seed, workers) },
-		func() { p.HierarchyDepth = HierarchyDepth(g, -1) },
+		func() { p.Resilience, famErr[1] = resilienceCSR(ctx, c, 10, 3, seed, workers) },
+		func() { p.Distortion, famErr[2] = distortion(ctx, g, 2000, seed, workers) },
+		func() {
+			if famErr[3] = errs.Ctx(ctx); famErr[3] == nil {
+				p.HierarchyDepth = HierarchyDepth(g, -1)
+			}
+		},
 		func() {
 			if connected {
-				p.SpectralGap = spectralGapCSR(c, 150)
+				p.SpectralGap, famErr[4] = spectralGapCSR(ctx, c, 150)
 			}
 		},
 	)
-	return p
+	for _, err := range famErr {
+		if err != nil {
+			return Profile{}, err
+		}
+	}
+	return p, nil
 }
 
 func chooseSources(n, k int, seed int64) []int {

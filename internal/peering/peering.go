@@ -6,10 +6,12 @@
 package peering
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/isp"
 	"repro/internal/rng"
@@ -69,14 +71,22 @@ type Internet struct {
 
 // Assemble builds the internet model.
 func Assemble(cfg Config) (*Internet, error) {
+	return AssembleContext(context.Background(), cfg)
+}
+
+// AssembleContext is Assemble with cancellation: the context is checked
+// before each member ISP buildout (the dominant cost) and threaded into
+// the single-ISP designer, returning an errs.ErrCanceled-wrapping error
+// when it is done.
+func AssembleContext(ctx context.Context, cfg Config) (*Internet, error) {
 	if cfg.Geography == nil || len(cfg.Geography.Cities) == 0 {
-		return nil, fmt.Errorf("peering: missing geography")
+		return nil, errs.BadParamf("peering: missing geography")
 	}
 	if cfg.NumISPs < 1 {
-		return nil, fmt.Errorf("peering: need at least one ISP")
+		return nil, errs.BadParamf("peering: need at least one ISP")
 	}
 	if cfg.POPsPerISP < 1 {
-		return nil, fmt.Errorf("peering: need at least one POP per ISP")
+		return nil, errs.BadParamf("peering: need at least one POP per ISP")
 	}
 	setup := cfg.PeeringSetupCost
 	if setup <= 0 {
@@ -90,6 +100,9 @@ func Assemble(cfg Config) (*Internet, error) {
 	inet := &Internet{}
 	// --- Build each ISP with its own footprint ----------------------------
 	for i := 0; i < cfg.NumISPs; i++ {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("peering: ISP %d: %w", i, err)
+		}
 		seed := rng.Derive(cfg.Seed, i)
 		pops := cfg.POPsPerISP
 		if cfg.SizeSkew > 0 {
@@ -101,7 +114,7 @@ func Assemble(cfg Config) (*Internet, error) {
 		// Each ISP picks POP cities with a bias toward big cities but
 		// with provider-specific randomness: weighted sampling without
 		// replacement by population.
-		des, err := buildMemberISP(cfg, pops, seed)
+		des, err := buildMemberISP(ctx, cfg, pops, seed)
 		if err != nil {
 			return nil, fmt.Errorf("peering: ISP %d: %w", i, err)
 		}
@@ -170,7 +183,7 @@ func Assemble(cfg Config) (*Internet, error) {
 // buildMemberISP constructs one provider: POPs sampled by population
 // weight (the big cities attract every provider — §2.1), metro access as
 // in the single-ISP designer.
-func buildMemberISP(cfg Config, k int, seed int64) (*isp.Design, error) {
+func buildMemberISP(ctx context.Context, cfg Config, k int, seed int64) (*isp.Design, error) {
 	geo := cfg.Geography
 	r := rng.New(seed)
 	if k > len(geo.Cities) {
@@ -201,7 +214,7 @@ func buildMemberISP(cfg Config, k int, seed int64) (*isp.Design, error) {
 	for _, ci := range cities {
 		sub.Cities = append(sub.Cities, geo.Cities[ci])
 	}
-	des, err := isp.Build(isp.Config{
+	des, err := isp.BuildContext(ctx, isp.Config{
 		Geography:             sub,
 		NumPOPs:               k,
 		Customers:             cfg.CustomersPerISP,

@@ -6,9 +6,11 @@
 package robust
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -47,6 +49,24 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParseStrategy maps a strategy name (as produced by String, with the
+// "-attack"/"-failure" suffix optional) back to its Strategy value,
+// wrapping errs.ErrBadParam for unknown names.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "random", "random-failure":
+		return RandomFailure, nil
+	case "degree", "degree-attack":
+		return DegreeAttack, nil
+	case "betweenness", "betweenness-attack":
+		return BetweennessAttack, nil
+	case "adaptive-degree", "adaptive-degree-attack":
+		return AdaptiveDegreeAttack, nil
+	default:
+		return 0, errs.BadParamf("robust: unknown attack strategy %q", name)
+	}
+}
+
 // SweepPoint is connectivity after removing a fraction of nodes.
 type SweepPoint struct {
 	FracRemoved float64
@@ -67,13 +87,23 @@ type SweepPoint struct {
 // available cores and are reduced in trial order, so the curve is
 // byte-identical for any level of parallelism.
 func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int64) ([]SweepPoint, error) {
+	return SweepContext(context.Background(), g, nil, strat, fracs, trials, seed, 0)
+}
+
+// SweepContext is Sweep with cancellation, an optional pre-frozen
+// snapshot, and an explicit worker bound. Pass the CSR from an earlier
+// Freeze of g to skip re-freezing (nil freezes internally); workers <= 0
+// means GOMAXPROCS. Each trial checks ctx before it starts and the
+// removal-order computation checks it up front, so a canceled context
+// surfaces as an errs.ErrCanceled-wrapping error promptly.
+func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strategy, fracs []float64, trials int, seed int64, workers int) ([]SweepPoint, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return nil, fmt.Errorf("robust: empty graph")
+		return nil, errs.BadParamf("robust: empty graph")
 	}
 	for _, f := range fracs {
 		if f < 0 || f >= 1 {
-			return nil, fmt.Errorf("robust: removal fraction %v out of [0,1)", f)
+			return nil, errs.BadParamf("robust: removal fraction %v out of [0,1)", f)
 		}
 	}
 	if strat != RandomFailure {
@@ -94,9 +124,14 @@ func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int
 	}
 	sort.SliceStable(byK, func(a, b int) bool { return fracs[byK[a]] < fracs[byK[b]] })
 
-	c := g.Freeze()
+	if c == nil {
+		c = g.Freeze()
+	}
 	perTrial := make([][]float64, trials)
-	par.ForEach(0, trials, func(trial int) {
+	err := par.ForEachErr(workers, trials, func(trial int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return fmt.Errorf("robust: sweep trial %d: %w", trial, err)
+		}
 		order := removalOrder(g, strat, rng.Derive(seed, trial))
 		ws := graph.GetWorkspace(n)
 		defer ws.Release()
@@ -111,7 +146,11 @@ func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int
 			vals[i] = float64(c.LargestComponentMasked(ws, removed)) / float64(n)
 		}
 		perTrial[trial] = vals
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, vals := range perTrial {
 		for i, v := range vals {
 			out[i].LCCFrac += v
@@ -202,7 +241,7 @@ func AttackGap(g *graph.Graph, attack Strategy, fracs []float64, trials int, see
 // never degrades below the threshold within the grid.
 func CriticalFraction(g *graph.Graph, strat Strategy, threshold float64, steps, trials int, seed int64) (float64, error) {
 	if steps < 1 {
-		return 0, fmt.Errorf("robust: need steps >= 1")
+		return 0, errs.BadParamf("robust: need steps >= 1")
 	}
 	fracs := make([]float64, steps)
 	for i := range fracs {

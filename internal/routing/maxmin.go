@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -34,6 +35,14 @@ type MaxMinResult struct {
 // share among its unfrozen flows is smallest, freeze those flows at that
 // share, remove the capacity, and continue. O(E * F) in the worst case.
 func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
+	return MaxMinFairContext(context.Background(), g, nil, demands)
+}
+
+// MaxMinFairContext is MaxMinFair with cancellation and an optional
+// pre-frozen snapshot (nil freezes internally). Cancellation is checked
+// during the parallel path-pinning phase; the filling loop itself is
+// bounded by the flow count and runs to completion.
+func MaxMinFairContext(ctx context.Context, g *graph.Graph, c *graph.CSR, demands []Demand) (*MaxMinResult, error) {
 	if err := checkDemands(g, demands); err != nil {
 		return nil, err
 	}
@@ -42,7 +51,13 @@ func MaxMinFair(g *graph.Graph, demands []Demand) (*MaxMinResult, error) {
 
 	// Pin each demand to its shortest path (edge id list), in parallel
 	// over distinct sources.
-	ps := pinPaths(g.Freeze(), demands, true)
+	if c == nil {
+		c = g.Freeze()
+	}
+	ps, err := pinPaths(ctx, c, demands, true)
+	if err != nil {
+		return nil, err
+	}
 	flowEdges := ps.edges
 
 	// edgeFlows[e] = indices of flows crossing edge e; live[e] counts the

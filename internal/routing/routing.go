@@ -12,10 +12,12 @@
 package routing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -58,7 +60,7 @@ type pathSet struct {
 // frozen snapshot. Distinct sources are distributed across the worker
 // pool; each source's Dijkstra runs on a pooled workspace and writes only
 // its own demands' slots, so the result does not depend on scheduling.
-func pinPaths(c *graph.CSR, demands []Demand, needEdges bool) *pathSet {
+func pinPaths(ctx context.Context, c *graph.CSR, demands []Demand, needEdges bool) (*pathSet, error) {
 	ps := &pathSet{dist: make([]float64, len(demands))}
 	for i := range ps.dist {
 		ps.dist[i] = math.Inf(1)
@@ -81,7 +83,10 @@ func pinPaths(c *graph.CSR, demands []Demand, needEdges bool) *pathSet {
 	// disjoint); sorting just keeps the dispatch order stable for
 	// debugging and costs O(S log S) against S Dijkstra runs.
 	sort.Ints(srcs)
-	par.ForEach(0, len(srcs), func(si int) {
+	err := par.ForEachErr(0, len(srcs), func(si int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return fmt.Errorf("routing: pin paths: %w", err)
+		}
 		s := srcs[si]
 		ws := graph.GetWorkspace(c.NumNodes())
 		defer ws.Release()
@@ -101,8 +106,12 @@ func pinPaths(c *graph.CSR, demands []Demand, needEdges bool) *pathSet {
 			}
 			ps.edges[i] = path
 		}
+		return nil
 	})
-	return ps
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
 }
 
 // RouteShortestPaths routes every demand on the (weight-)shortest path,
@@ -113,11 +122,24 @@ func pinPaths(c *graph.CSR, demands []Demand, needEdges bool) *pathSet {
 // Shortest-path trees are computed once per distinct source, in parallel
 // across sources.
 func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
+	return RouteShortestPathsContext(context.Background(), g, nil, demands)
+}
+
+// RouteShortestPathsContext is RouteShortestPaths with cancellation and
+// an optional pre-frozen snapshot (nil freezes internally). The
+// per-source fan-out checks ctx before each shortest-path tree.
+func RouteShortestPathsContext(ctx context.Context, g *graph.Graph, c *graph.CSR, demands []Demand) (*Result, error) {
 	if err := checkDemands(g, demands); err != nil {
 		return nil, err
 	}
+	if c == nil {
+		c = g.Freeze()
+	}
 	res := &Result{Load: make([]float64, g.NumEdges())}
-	ps := pinPaths(g.Freeze(), demands, true)
+	ps, err := pinPaths(ctx, c, demands, true)
+	if err != nil {
+		return nil, err
+	}
 	var totalW, totalHops float64
 	for i, d := range demands {
 		if d.Volume <= 0 {
@@ -149,6 +171,13 @@ func RouteShortestPaths(g *graph.Graph, demands []Demand) (*Result, error) {
 // admission model: earlier demands grab capacity first — inherently
 // sequential, so only the per-source shortest-path trees are kernelized.
 func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
+	return RouteCapacitatedContext(context.Background(), g, nil, demands)
+}
+
+// RouteCapacitatedContext is RouteCapacitated with cancellation and an
+// optional pre-frozen snapshot (nil freezes internally). The admission
+// loop checks ctx once per demand.
+func RouteCapacitatedContext(ctx context.Context, g *graph.Graph, c *graph.CSR, demands []Demand) (*Result, error) {
 	if err := checkDemands(g, demands); err != nil {
 		return nil, err
 	}
@@ -157,7 +186,9 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 	for i, e := range g.Edges() {
 		remaining[i] = e.Capacity
 	}
-	c := g.Freeze()
+	if c == nil {
+		c = g.Freeze()
+	}
 	ws := graph.GetWorkspace(c.NumNodes())
 	defer ws.Release()
 	var totalW, totalHops float64
@@ -169,6 +200,9 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 	}
 	cache := map[int]spt{}
 	for _, d := range demands {
+		if err := errs.Ctx(ctx); err != nil {
+			return nil, fmt.Errorf("routing: capacitated admission: %w", err)
+		}
 		if d.Volume <= 0 {
 			continue
 		}
@@ -222,7 +256,10 @@ func RouteCapacitated(g *graph.Graph, demands []Demand) (*Result, error) {
 // geographic efficiency measure. Demands between co-located or
 // disconnected endpoints are skipped.
 func PathStretch(g *graph.Graph, demands []Demand) float64 {
-	ps := pinPaths(g.Freeze(), demands, false)
+	ps, err := pinPaths(context.Background(), g.Freeze(), demands, false)
+	if err != nil {
+		return 0
+	}
 	totalVol := 0.0
 	total := 0.0
 	for i, d := range demands {
@@ -264,13 +301,13 @@ func checkDemands(g *graph.Graph, demands []Demand) error {
 	n := g.NumNodes()
 	for i, d := range demands {
 		if d.Src < 0 || d.Src >= n || d.Dst < 0 || d.Dst >= n {
-			return fmt.Errorf("routing: demand %d references missing node (%d->%d, n=%d)", i, d.Src, d.Dst, n)
+			return errs.BadParamf("routing: demand %d references missing node (%d->%d, n=%d)", i, d.Src, d.Dst, n)
 		}
 		if d.Src == d.Dst {
-			return fmt.Errorf("routing: demand %d is a self-loop at node %d", i, d.Src)
+			return errs.BadParamf("routing: demand %d is a self-loop at node %d", i, d.Src)
 		}
 		if d.Volume < 0 {
-			return fmt.Errorf("routing: demand %d has negative volume", i)
+			return errs.BadParamf("routing: demand %d has negative volume", i)
 		}
 	}
 	return nil

@@ -1,0 +1,295 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/robust"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// Options tune an Engine batch run.
+type Options struct {
+	// Workers bounds the goroutines fanning (scenario, replication)
+	// units out (<= 0 means GOMAXPROCS). All reductions happen in unit
+	// order, so output is byte-identical for any value.
+	Workers int
+}
+
+// Engine executes scenarios over a registry on the CSR kernel. It
+// caches frozen snapshots keyed by topology identity (model + resolved
+// params + seed), so scenarios that measure, route and attack the same
+// topology generate and freeze it once. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	cache map[string]*topoEntry
+	// cacheLimit bounds the snapshot cache (default 128 entries).
+	cacheLimit int
+}
+
+type topoEntry struct {
+	ready chan struct{}
+	g     *graph.Graph
+	c     *graph.CSR
+	err   error
+}
+
+// NewEngine returns an engine over the given registry (nil means
+// Default()).
+func NewEngine(reg *Registry) *Engine {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Engine{reg: reg, cache: map[string]*topoEntry{}, cacheLimit: 128}
+}
+
+// Registry returns the registry this engine resolves models in.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// snapshot returns the generated topology and its frozen CSR for one
+// (generate-spec, seed) identity, generating at most once per identity
+// even under concurrent replications. Failed generations (including
+// cancellations) are not cached, so a later run with a live context
+// retries.
+func (e *Engine) snapshot(ctx context.Context, gen Generator, resolved Params, seed int64) (*graph.Graph, *graph.CSR, error) {
+	key := identityKey(gen.Name(), resolved, seed)
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &topoEntry{ready: make(chan struct{})}
+		if len(e.cache) >= e.cacheLimit {
+			// Evict an arbitrary completed entry; the cache only affects
+			// performance, never results.
+			for k, old := range e.cache {
+				select {
+				case <-old.ready:
+					delete(e.cache, k)
+				default:
+					continue
+				}
+				break
+			}
+		}
+		e.cache[key] = ent
+		e.mu.Unlock()
+
+		p := resolved.clone()
+		p["seed"] = float64(seed)
+		g, err := gen.Generate(ctx, p)
+		if err != nil {
+			ent.err = err
+		} else {
+			ent.g, ent.c = g, g.Freeze()
+		}
+		close(ent.ready)
+		if err != nil {
+			e.mu.Lock()
+			delete(e.cache, key)
+			e.mu.Unlock()
+		}
+		return ent.g, ent.c, ent.err
+	}
+	e.mu.Unlock()
+	select {
+	case <-ent.ready:
+		return ent.g, ent.c, ent.err
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("scenario: waiting for topology: %w", errs.Ctx(ctx))
+	}
+}
+
+// Run executes one scenario with the given worker bound applied to its
+// replications.
+func (e *Engine) Run(ctx context.Context, sc Scenario, opt Options) (*Result, error) {
+	out, err := e.RunBatch(ctx, []Scenario{sc}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// RunBatch executes scenarios concurrently: every (scenario,
+// replication) unit fans out across the worker pool and results are
+// reduced in unit order, so the returned slice — and each Result's
+// Format output — is byte-identical for any Options.Workers. The
+// context is checked before each unit and inside every stage; the first
+// (lowest-unit) error aborts the batch, with cancellation surfacing as
+// an errs.ErrCanceled-wrapping error.
+func (e *Engine) RunBatch(ctx context.Context, scs []Scenario, opt Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type unitRef struct {
+		si, rep int
+	}
+	var units []unitRef
+	results := make([]*Result, len(scs))
+	resolved := make([]Params, len(scs))
+	gens := make([]Generator, len(scs))
+	for si := range scs {
+		sc := &scs[si]
+		g, p, err := sc.prepare(e.reg)
+		if err != nil {
+			return nil, err
+		}
+		gens[si], resolved[si] = g, p
+		results[si] = &Result{Scenario: scs[si], Reps: make([]RepResult, sc.NumReps())}
+		for rep := 0; rep < sc.NumReps(); rep++ {
+			units = append(units, unitRef{si, rep})
+		}
+	}
+	err := par.ForEachErr(opt.Workers, len(units), func(u int) error {
+		if err := errs.Ctx(ctx); err != nil {
+			return fmt.Errorf("scenario: unit %d: %w", u, err)
+		}
+		ref := units[u]
+		rr, err := e.runRep(ctx, &scs[ref.si], gens[ref.si], resolved[ref.si], ref.rep)
+		if err != nil {
+			return fmt.Errorf("scenario %s rep %d: %w", scs[ref.si].describe(), ref.rep, err)
+		}
+		results[ref.si].Reps[ref.rep] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runRep executes one replication: generate (or hit the snapshot
+// cache), then the enabled measure/route/attack stages, all on the
+// shared frozen CSR.
+func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolved Params, rep int) (RepResult, error) {
+	seed := sc.SeedFor(rep)
+	g, c, err := e.snapshot(ctx, gen, resolved, seed)
+	if err != nil {
+		return RepResult{}, err
+	}
+	rr := RepResult{Seed: seed, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+
+	if m := sc.Measure; m != nil {
+		if m.Profile || !m.Degrees {
+			prof, err := metrics.ProfileContext(ctx, g, c, seed, 1)
+			if err != nil {
+				return RepResult{}, err
+			}
+			rr.Profile = &prof
+		}
+		if m.Degrees {
+			if err := errs.Ctx(ctx); err != nil {
+				return RepResult{}, err
+			}
+			ds := stats.AnalyzeDegrees(g)
+			rr.Degrees = &DegreeSummary{
+				MeanDegree: ds.MeanDegree,
+				MaxDegree:  ds.MaxDegree,
+				Tail:       ds.Classification.Kind.String(),
+			}
+		}
+	}
+
+	if rt := sc.Route; rt != nil {
+		sum, err := e.route(ctx, g, c, rt, seed)
+		if err != nil {
+			return RepResult{}, err
+		}
+		rr.Route = sum
+	}
+
+	if at := sc.Attack; at != nil {
+		strat, err := robust.ParseStrategy(at.Strategy)
+		if err != nil {
+			return RepResult{}, err
+		}
+		fracs := at.Fracs
+		if len(fracs) == 0 {
+			fracs = []float64{0.05, 0.1, 0.2}
+		}
+		trials := at.Trials
+		if trials <= 0 {
+			trials = 3
+		}
+		curve, err := robust.SweepContext(ctx, g, c, strat, fracs, trials, seed, 1)
+		if err != nil {
+			return RepResult{}, err
+		}
+		rr.Attack = curve
+	}
+	return rr, nil
+}
+
+func (e *Engine) route(ctx context.Context, g *graph.Graph, c *graph.CSR, rt *RouteSpec, seed int64) (*RouteSummary, error) {
+	demands := randomDemands(g.NumNodes(), rt.Demands, rt.Volume, seed)
+	mode := rt.Mode
+	if mode == "" {
+		mode = "shortest"
+	}
+	sum := &RouteSummary{Mode: mode}
+	switch mode {
+	case "shortest":
+		res, err := routing.RouteShortestPathsContext(ctx, g, c, demands)
+		if err != nil {
+			return nil, err
+		}
+		sum.Delivered, sum.Dropped = res.Delivered, res.Dropped
+		sum.MaxUtilization, sum.AvgHops = finite(res.MaxUtilization), res.AvgHops
+	case "capacitated":
+		res, err := routing.RouteCapacitatedContext(ctx, g, c, demands)
+		if err != nil {
+			return nil, err
+		}
+		sum.Delivered, sum.Dropped = res.Delivered, res.Dropped
+		sum.MaxUtilization, sum.AvgHops = finite(res.MaxUtilization), res.AvgHops
+	case "maxmin":
+		res, err := routing.MaxMinFairContext(ctx, g, c, demands)
+		if err != nil {
+			return nil, err
+		}
+		sum.Delivered = res.Throughput
+		sum.Jain = res.JainIndex
+	default:
+		return nil, errs.BadParamf("scenario: unknown route mode %q", mode)
+	}
+	return sum, nil
+}
+
+// finite clamps +Inf utilization (zero-capacity edges) to -1 so result
+// tables and JSON stay well-formed.
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// randomDemands draws count random distinct-endpoint demands,
+// deterministically from seed.
+func randomDemands(n, count int, volume float64, seed int64) []routing.Demand {
+	if n < 2 || count < 1 {
+		return nil
+	}
+	if volume <= 0 {
+		volume = 1
+	}
+	r := rng.New(rng.Derive(seed, 7001))
+	out := make([]routing.Demand, 0, count)
+	for len(out) < count {
+		s, d := r.Intn(n), r.Intn(n)
+		if s == d {
+			continue
+		}
+		out = append(out, routing.Demand{Src: s, Dst: d, Volume: volume})
+	}
+	return out
+}

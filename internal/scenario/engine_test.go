@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:     "fkp-profile",
+			Generate: GenerateSpec{Model: "fkp", Params: Params{"n": 80, "alpha": 8}},
+			Measure:  &MeasureSpec{Profile: true, Degrees: true},
+			Attack:   &AttackSpec{Strategy: "degree", Fracs: []float64{0.05, 0.2}},
+			Seeds:    []int64{1, 2},
+		},
+		{
+			Name:     "waxman-routed",
+			Generate: GenerateSpec{Model: "waxman", Params: Params{"n": 70, "alpha": 0.15, "beta": 0.6}},
+			Measure:  &MeasureSpec{Degrees: true},
+			Route:    &RouteSpec{Demands: 40, Mode: "maxmin"},
+			Reps:     3,
+		},
+		{
+			Name:     "ba-attacked",
+			Generate: GenerateSpec{Model: "ba", Params: Params{"n": 90, "m": 2}},
+			Route:    &RouteSpec{Demands: 30},
+			Attack:   &AttackSpec{Strategy: "random", Trials: 2},
+			Reps:     2,
+		},
+	}
+}
+
+func formatAll(results []*Result) string {
+	out := ""
+	for _, r := range results {
+		out += r.Format() + "\n"
+	}
+	return out
+}
+
+// TestScenarioJSONRoundTrip asserts the spec is fully declarative:
+// marshal → unmarshal → run produces byte-identical output to running
+// the original value.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scs := testScenarios()
+	data, err := json.Marshal(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nil)
+	orig, err := e.RunBatch(context.Background(), scs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh engine so the round-tripped run cannot lean on the first
+	// run's snapshot cache.
+	rt, err := NewEngine(nil).RunBatch(context.Background(), back, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := formatAll(orig), formatAll(rt)
+	if a != b {
+		t.Fatalf("round-tripped spec ran differently:\n--- original ---\n%s\n--- round-trip ---\n%s", a, b)
+	}
+}
+
+// TestRunBatchWorkersDeterminism mirrors experiments.TestWorkersDeterminism
+// for the scenario engine: byte-identical tables at any worker count.
+func TestRunBatchWorkersDeterminism(t *testing.T) {
+	scs := testScenarios()
+	seq, err := NewEngine(nil).RunBatch(context.Background(), scs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := NewEngine(nil).RunBatch(context.Background(), scs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := formatAll(seq), formatAll(parl)
+	if a != b {
+		t.Fatalf("output differs between Workers=1 and Workers=8:\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s", a, b)
+	}
+}
+
+// TestRunBatchCancellation asserts a mid-run cancel surfaces as
+// ErrCanceled promptly, long before the batch could finish.
+func TestRunBatchCancellation(t *testing.T) {
+	// A batch big enough to run for many seconds if not canceled:
+	// FKP attachment is O(n^2) with n=20000.
+	scs := []Scenario{{
+		Generate: GenerateSpec{Model: "fkp", Params: Params{"n": 20000}},
+		Measure:  &MeasureSpec{Profile: true},
+		Reps:     4,
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := NewEngine(nil).RunBatch(ctx, scs, Options{Workers: 4})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errs.ErrCanceled) {
+			t.Fatalf("canceled batch gave %v, want ErrCanceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled batch did not return")
+	}
+}
+
+// TestSnapshotCacheSharesTopologies asserts scenarios with the same
+// generate identity (model + params + seed) generate exactly once.
+func TestSnapshotCacheSharesTopologies(t *testing.T) {
+	var calls atomic.Int64
+	reg := NewRegistry()
+	err := reg.Register(&FuncGenerator{
+		GenName: "counted",
+		GenParams: []ParamSpec{
+			{Name: "n", Kind: Int, Default: 50},
+			seedSpec,
+		},
+		Fn: func(ctx context.Context, p Params) (*graph.Graph, error) {
+			calls.Add(1)
+			return gen.BarabasiAlbert(p.Int("n"), 2, p.Seed())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []Scenario{
+		{Generate: GenerateSpec{Model: "counted"}, Measure: &MeasureSpec{Degrees: true}, Reps: 3},
+		{Generate: GenerateSpec{Model: "counted"}, Route: &RouteSpec{Demands: 10}, Reps: 3},
+		{Generate: GenerateSpec{Model: "counted"}, Attack: &AttackSpec{}, Reps: 3},
+	}
+	// All nine replications share three seeds (SeedFor defaults are
+	// identical across scenarios), so three generations suffice.
+	if _, err := NewEngine(reg).RunBatch(context.Background(), scs, Options{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("generator ran %d times, want 3 (one per distinct seed)", got)
+	}
+}
+
+func TestRunBatchRejectsBadSpecs(t *testing.T) {
+	cases := []Scenario{
+		{Generate: GenerateSpec{Model: "nope"}},
+		{Generate: GenerateSpec{Model: "fkp", Params: Params{"bogus": 1}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Route: &RouteSpec{Demands: 0}},
+		{Generate: GenerateSpec{Model: "fkp"}, Route: &RouteSpec{Demands: 5, Mode: "teleport"}},
+		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Strategy: "nuclear"}},
+		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Fracs: []float64{1.5}}},
+	}
+	for i, sc := range cases {
+		_, err := NewEngine(nil).RunBatch(context.Background(), []Scenario{sc}, Options{})
+		if !errors.Is(err, errs.ErrBadParam) {
+			t.Errorf("case %d gave %v, want ErrBadParam", i, err)
+		}
+	}
+}
+
+func TestParseSpecForms(t *testing.T) {
+	single := `{"generate": {"model": "fkp", "params": {"n": 50}}}`
+	array := `[{"generate": {"model": "fkp"}}, {"generate": {"model": "ba"}}]`
+	batch := `{"scenarios": [{"generate": {"model": "fkp"}}]}`
+	if scs, err := ParseSpec([]byte(single)); err != nil || len(scs) != 1 {
+		t.Fatalf("single: %v %d", err, len(scs))
+	}
+	if scs, err := ParseSpec([]byte(array)); err != nil || len(scs) != 2 {
+		t.Fatalf("array: %v %d", err, len(scs))
+	}
+	if scs, err := ParseSpec([]byte(batch)); err != nil || len(scs) != 1 {
+		t.Fatalf("batch: %v %d", err, len(scs))
+	}
+	if _, err := ParseSpec([]byte(`{"generate": {"model": "fkp"}, "typo": 1}`)); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown field gave %v, want ErrBadParam", err)
+	}
+	if _, err := ParseSpec([]byte("not json")); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("garbage gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestSeedForSemantics(t *testing.T) {
+	sc := Scenario{Seeds: []int64{10, 20}, Reps: 4}
+	if sc.NumReps() != 4 {
+		t.Fatalf("NumReps = %d, want 4", sc.NumReps())
+	}
+	if sc.SeedFor(0) != 10 || sc.SeedFor(1) != 20 {
+		t.Fatal("explicit seeds not honored")
+	}
+	if sc.SeedFor(2) == sc.SeedFor(3) {
+		t.Fatal("derived seeds collide")
+	}
+	var zero Scenario
+	if zero.NumReps() != 1 {
+		t.Fatalf("zero scenario NumReps = %d, want 1", zero.NumReps())
+	}
+	if zero.SeedFor(0) != 1 {
+		t.Fatalf("zero scenario SeedFor(0) = %d, want generator default 1", zero.SeedFor(0))
+	}
+	// Without explicit Seeds, the generator's "seed" parameter is the
+	// base: rep 0 uses it verbatim, later reps derive from it.
+	withParam := Scenario{Generate: GenerateSpec{Model: "ba", Params: Params{"seed": 42}}, Reps: 3}
+	if withParam.SeedFor(0) != 42 {
+		t.Fatalf("params seed ignored: SeedFor(0) = %d, want 42", withParam.SeedFor(0))
+	}
+	if withParam.SeedFor(1) == 42 || withParam.SeedFor(1) == withParam.SeedFor(2) {
+		t.Fatal("derived seeds should differ from the base and each other")
+	}
+}
+
+// TestParamsSeedHonored asserts a spec that sets generate.params.seed
+// runs exactly that topology (the topogen -seed equivalence).
+func TestParamsSeedHonored(t *testing.T) {
+	sc := Scenario{Generate: GenerateSpec{Model: "ba", Params: Params{"n": 50, "seed": 42}}}
+	res, err := NewEngine(nil).Run(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps[0].Seed != 42 {
+		t.Fatalf("rep ran with seed %d, want 42", res.Reps[0].Seed)
+	}
+	want, err := Default().GenerateByName(context.Background(), "ba", Params{"n": 50, "seed": 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps[0].Edges != want.NumEdges() {
+		t.Fatalf("scenario topology differs from direct generation: %d vs %d edges",
+			res.Reps[0].Edges, want.NumEdges())
+	}
+}

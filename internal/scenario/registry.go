@@ -1,0 +1,282 @@
+// Package scenario is the repository's registry-driven pipeline API: the
+// paper's argument is that topology work should be *scenario-driven* —
+// optimization-designed topologies compared against descriptive
+// baselines under one metric/routing/robustness harness — and this
+// package makes that a first-class, name-addressable operation.
+//
+// Three pieces compose:
+//
+//   - A Generator registry: every topology model in the repository
+//     (fkp, hot, mmp, ring, ba, glp, er-gnp, er-gnm, waxman,
+//     transitstub, rgg, configmodel, inet, isp, internet) registered by
+//     name with typed, validated, JSON-serializable parameters.
+//   - A declarative Scenario spec (scenario.go): generate + measure +
+//     route + attack stages plus seeds/reps, round-tripping through
+//     JSON.
+//   - An Engine (engine.go) that executes scenarios on the CSR kernel
+//     with cancellation, a frozen-snapshot cache keyed by scenario
+//     identity, and ordered reductions so batch output is byte-identical
+//     at any worker count.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/graph"
+)
+
+// ParamKind is the declared type of one generator parameter.
+type ParamKind string
+
+// Parameter kinds. Values travel as JSON numbers (float64); Int-kind
+// parameters additionally require an integral value.
+const (
+	Int   ParamKind = "int"
+	Float ParamKind = "float"
+)
+
+// ParamSpec declares one named generator parameter: its kind, default,
+// and optional closed bounds. Specs are JSON-serializable so tooling can
+// enumerate a generator's interface.
+type ParamSpec struct {
+	Name    string    `json:"name"`
+	Kind    ParamKind `json:"kind"`
+	Default float64   `json:"default"`
+	// Min/Max bound the accepted value when non-nil.
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+	Help string   `json:"help,omitempty"`
+}
+
+func (s *ParamSpec) check(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return errs.BadParamf("scenario: parameter %q = %v", s.Name, v)
+	}
+	if s.Kind == Int && v != math.Trunc(v) {
+		return errs.BadParamf("scenario: parameter %q = %v, want an integer", s.Name, v)
+	}
+	if s.Min != nil && v < *s.Min {
+		return errs.BadParamf("scenario: parameter %q = %v below minimum %v", s.Name, v, *s.Min)
+	}
+	if s.Max != nil && v > *s.Max {
+		return errs.BadParamf("scenario: parameter %q = %v above maximum %v", s.Name, v, *s.Max)
+	}
+	return nil
+}
+
+// Params carries generator arguments by name. Values are float64 — the
+// JSON number type — so a Params map round-trips through JSON verbatim;
+// Int-kind parameters are validated to hold integral values.
+type Params map[string]float64
+
+// Int reads a parameter as an int (the value is validated integral
+// before a generator sees it).
+func (p Params) Int(name string) int { return int(p[name]) }
+
+// Float reads a parameter as a float64.
+func (p Params) Float(name string) float64 { return p[name] }
+
+// Seed reads the conventional "seed" parameter every registered
+// generator declares.
+func (p Params) Seed() int64 { return int64(p["seed"]) }
+
+// clone returns an independent copy of p (nil stays usable: the copy is
+// an empty, writable map).
+func (p Params) clone() Params {
+	out := make(Params, len(p)+1)
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Generator is one registered topology model: a name, a typed parameter
+// interface, and a context-aware generation function.
+type Generator interface {
+	// Name is the registry key (e.g. "fkp", "waxman").
+	Name() string
+	// Params declares the accepted parameters with kinds, defaults and
+	// bounds.
+	Params() []ParamSpec
+	// Generate builds a topology. The given Params have been resolved
+	// against the declared specs (defaults filled, unknown names
+	// rejected, kinds and bounds checked). Implementations check ctx at
+	// iteration boundaries and return an errs.ErrCanceled-wrapping error
+	// once it is done.
+	Generate(ctx context.Context, p Params) (*graph.Graph, error)
+}
+
+// Resolve validates user-supplied params against the generator's specs
+// and returns a complete parameter set with defaults filled in. Unknown
+// names, non-integral Int values and out-of-bounds values are rejected
+// with errs.ErrBadParam-wrapping errors.
+func Resolve(g Generator, p Params) (Params, error) {
+	specs := g.Params()
+	byName := make(map[string]*ParamSpec, len(specs))
+	out := make(Params, len(specs))
+	for i := range specs {
+		byName[specs[i].Name] = &specs[i]
+		out[specs[i].Name] = specs[i].Default
+	}
+	for name, v := range p {
+		spec, ok := byName[name]
+		if !ok {
+			return nil, errs.BadParamf("scenario: generator %q has no parameter %q (have %s)",
+				g.Name(), name, paramNames(specs))
+		}
+		if err := spec.check(v); err != nil {
+			return nil, fmt.Errorf("scenario: generator %q: %w", g.Name(), err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func paramNames(specs []ParamSpec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Registry maps generator names to Generators. The zero value is ready
+// to use; Default() holds every built-in model.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Generator
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a generator, rejecting duplicate or empty names.
+func (r *Registry) Register(g Generator) error {
+	name := g.Name()
+	if name == "" {
+		return errs.BadParamf("scenario: generator with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName == nil {
+		r.byName = map[string]Generator{}
+	}
+	if _, dup := r.byName[name]; dup {
+		return errs.BadParamf("scenario: generator %q already registered", name)
+	}
+	r.byName[name] = g
+	return nil
+}
+
+// Lookup resolves a generator by name, wrapping errs.ErrBadParam for
+// unknown names.
+func (r *Registry) Lookup(name string) (Generator, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.byName[name]
+	if !ok {
+		return nil, errs.BadParamf("scenario: unknown model %q (have %v)", name, r.namesLocked())
+	}
+	return g, nil
+}
+
+// Names lists every registered generator name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry holding every built-in
+// generator (and anything added through Register).
+func Default() *Registry { return defaultRegistry }
+
+// Register adds a generator to the default registry.
+func Register(g Generator) error { return defaultRegistry.Register(g) }
+
+// Lookup resolves a name in the default registry.
+func Lookup(name string) (Generator, error) { return defaultRegistry.Lookup(name) }
+
+// Names lists the default registry, sorted.
+func Names() []string { return defaultRegistry.Names() }
+
+// FuncGenerator adapts a plain function plus a spec list into a
+// Generator; it is how every built-in model is registered and the
+// easiest way to add external ones.
+type FuncGenerator struct {
+	GenName   string
+	GenParams []ParamSpec
+	Fn        func(ctx context.Context, p Params) (*graph.Graph, error)
+}
+
+// Name implements Generator.
+func (f *FuncGenerator) Name() string { return f.GenName }
+
+// Params implements Generator.
+func (f *FuncGenerator) Params() []ParamSpec {
+	out := make([]ParamSpec, len(f.GenParams))
+	copy(out, f.GenParams)
+	return out
+}
+
+// Generate implements Generator.
+func (f *FuncGenerator) Generate(ctx context.Context, p Params) (*graph.Graph, error) {
+	return f.Fn(ctx, p)
+}
+
+// FormatModels writes a human-readable listing of every registered
+// model and its parameters (sorted by name), prefixing each parameter
+// line with paramPrefix — CLIs share this for their -list flags.
+func (r *Registry) FormatModels(w io.Writer, paramPrefix string) {
+	for _, name := range r.Names() {
+		g, err := r.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", name)
+		specs := g.Params()
+		sort.Slice(specs, func(a, b int) bool { return specs[a].Name < specs[b].Name })
+		for _, s := range specs {
+			fmt.Fprintf(w, "  %s%s=<%s>  (default %g)  %s\n", paramPrefix, s.Name, s.Kind, s.Default, s.Help)
+		}
+	}
+}
+
+// GenerateByName resolves name in the registry, validates params, and
+// generates — the one-call path CLIs use.
+func (r *Registry) GenerateByName(ctx context.Context, name string, p Params) (*graph.Graph, error) {
+	g, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	resolved, err := Resolve(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(ctx, resolved)
+}

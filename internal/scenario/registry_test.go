@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/graph"
+)
+
+// smallParams returns per-model overrides small enough for fast tests.
+func smallParams(model string) Params {
+	switch model {
+	case "transitstub":
+		return Params{"domains": 2, "transitsize": 2, "stubs": 1, "stubsize": 3}
+	case "isp":
+		return Params{"cities": 8, "pops": 3, "customers": 40}
+	case "internet":
+		return Params{"cities": 8, "pops": 2, "customers": 20, "isps": 2}
+	case "configmodel":
+		return Params{"n": 30, "degree": 2}
+	case "er-gnm":
+		return Params{"n": 60, "m": 90}
+	case "mmp", "ring":
+		return Params{"n": 50}
+	default:
+		return Params{"n": 60}
+	}
+}
+
+func TestRegistryHasAllModels(t *testing.T) {
+	want := []string{
+		"fkp", "hot", "mmp", "ring", "ba", "glp", "er-gnp", "er-gnm",
+		"waxman", "transitstub", "rgg", "configmodel", "inet", "isp", "internet",
+	}
+	names := map[string]bool{}
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, w := range want {
+		if !names[w] {
+			t.Errorf("model %q missing from registry (have %v)", w, Names())
+		}
+	}
+	if len(Names()) < 14 {
+		t.Fatalf("registry holds %d models, want >= 14", len(Names()))
+	}
+}
+
+func TestAllGeneratorsGenerate(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, err := Default().GenerateByName(context.Background(), name, smallParams(name))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if g.NumNodes() == 0 {
+				t.Fatalf("%s produced an empty graph", name)
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	for _, name := range []string{"fkp", "ba", "waxman", "isp"} {
+		p := smallParams(name)
+		a, err := Default().GenerateByName(context.Background(), name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Default().GenerateByName(context.Background(), name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s not deterministic: %d/%d nodes, %d/%d edges",
+				name, a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+		}
+	}
+}
+
+func TestUnknownModelIsBadParam(t *testing.T) {
+	_, err := Default().GenerateByName(context.Background(), "nope", nil)
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown model gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestUnknownParamIsBadParam(t *testing.T) {
+	_, err := Default().GenerateByName(context.Background(), "fkp", Params{"bogus": 1})
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown param gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestNonIntegralIntParamIsBadParam(t *testing.T) {
+	_, err := Default().GenerateByName(context.Background(), "fkp", Params{"n": 10.5})
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("non-integral int gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestOutOfRangeParamIsBadParam(t *testing.T) {
+	_, err := Default().GenerateByName(context.Background(), "er-gnp", Params{"p": 1.5})
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("out-of-range param gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestResolveFillsDefaults(t *testing.T) {
+	g, err := Lookup("fkp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Resolve(g, Params{"n": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["n"] != 50 {
+		t.Fatalf("override lost: n=%v", p["n"])
+	}
+	if p["alpha"] != 8 || p["seed"] != 1 {
+		t.Fatalf("defaults not filled: %v", p)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	mk := func(name string) Generator {
+		return &FuncGenerator{GenName: name, Fn: func(context.Context, Params) (*graph.Graph, error) {
+			return graph.New(0), nil
+		}}
+	}
+	if err := r.Register(mk("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(mk("x")); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("duplicate registration gave %v, want ErrBadParam", err)
+	}
+	if err := r.Register(mk("")); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("empty name gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestInfeasibleGenerationIsClassified(t *testing.T) {
+	// A 1-port cap makes any FKP growth beyond 2 nodes infeasible.
+	_, err := Default().GenerateByName(context.Background(), "fkp", Params{"n": 10, "ports": 1})
+	if !errors.Is(err, errs.ErrInfeasible) {
+		t.Fatalf("over-constrained fkp gave %v, want ErrInfeasible", err)
+	}
+}

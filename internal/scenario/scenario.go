@@ -1,0 +1,361 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/errs"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/robust"
+)
+
+// GenerateSpec names a registered generator and its parameters.
+type GenerateSpec struct {
+	Model  string `json:"model"`
+	Params Params `json:"params,omitempty"`
+}
+
+// MeasureSpec selects measurement families. An empty spec ({}) measures
+// the full profile.
+type MeasureSpec struct {
+	// Profile computes the [30]-style comparison profile (expansion,
+	// resilience, distortion, hierarchy depth, spectral gap).
+	Profile bool `json:"profile,omitempty"`
+	// Degrees computes degree statistics and the power-law vs
+	// exponential tail classification.
+	Degrees bool `json:"degrees,omitempty"`
+}
+
+// RouteSpec evaluates the topology under a random traffic matrix.
+type RouteSpec struct {
+	// Demands is the number of random source/destination pairs.
+	Demands int `json:"demands"`
+	// Volume is the offered volume per demand (default 1).
+	Volume float64 `json:"volume,omitempty"`
+	// Mode is "shortest" (default), "capacitated", or "maxmin".
+	Mode string `json:"mode,omitempty"`
+}
+
+// AttackSpec runs a robustness sweep.
+type AttackSpec struct {
+	// Strategy is a robust.ParseStrategy name: "random", "degree",
+	// "betweenness", or "adaptive-degree" (default random).
+	Strategy string `json:"strategy,omitempty"`
+	// Fracs are the removal fractions (default 0.05, 0.1, 0.2).
+	Fracs []float64 `json:"fracs,omitempty"`
+	// Trials averages random-failure sweeps (default 3; deterministic
+	// attacks always use one pass).
+	Trials int `json:"trials,omitempty"`
+}
+
+// Scenario is one declarative unit of work: generate a topology, then
+// optionally measure, route, and attack it, replicated over seeds. The
+// value round-trips through JSON; running the unmarshaled copy produces
+// byte-identical output.
+type Scenario struct {
+	Name     string       `json:"name,omitempty"`
+	Generate GenerateSpec `json:"generate"`
+	Measure  *MeasureSpec `json:"measure,omitempty"`
+	Route    *RouteSpec   `json:"route,omitempty"`
+	Attack   *AttackSpec  `json:"attack,omitempty"`
+	// Seeds are explicit per-replication seeds; Reps pads beyond them
+	// with seeds derived from the last explicit one (or, with no Seeds,
+	// from the generator's "seed" parameter). One replication with the
+	// generator's seed runs when both are empty.
+	Seeds []int64 `json:"seeds,omitempty"`
+	Reps  int     `json:"reps,omitempty"`
+}
+
+// NumReps is the replication count implied by Seeds and Reps.
+func (s *Scenario) NumReps() int {
+	n := s.Reps
+	if len(s.Seeds) > n {
+		n = len(s.Seeds)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SeedFor returns replication rep's seed: the explicit Seeds entry when
+// one exists, otherwise a deterministic derivation from the last
+// explicit seed. Without any Seeds, the base is the generator's "seed"
+// parameter (default 1), and replication 0 uses it verbatim — so a
+// spec that only says params{"seed": 42} runs exactly the topology
+// `topogen -seed 42` generates.
+func (s *Scenario) SeedFor(rep int) int64 {
+	if rep < len(s.Seeds) {
+		return s.Seeds[rep]
+	}
+	base := int64(1)
+	if len(s.Seeds) > 0 {
+		base = s.Seeds[len(s.Seeds)-1]
+	} else {
+		if v, ok := s.Generate.Params["seed"]; ok {
+			base = int64(v)
+		}
+		if rep == 0 {
+			return base
+		}
+	}
+	return rng.Derive(base, rep)
+}
+
+// Validate checks the scenario against a registry: the model must
+// resolve, its params must validate, and every stage spec must be
+// well-formed. Errors wrap errs.ErrBadParam.
+func (s *Scenario) Validate(reg *Registry) error {
+	_, _, err := s.prepare(reg)
+	return err
+}
+
+// prepare is Validate plus the execution inputs: the resolved generator
+// and its complete parameter set. The engine runs exactly what
+// validation checked.
+func (s *Scenario) prepare(reg *Registry) (Generator, Params, error) {
+	g, err := reg.Lookup(s.Generate.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	resolved, err := Resolve(g, s.Generate.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.checkStages(); err != nil {
+		return nil, nil, err
+	}
+	return g, resolved, nil
+}
+
+func (s *Scenario) checkStages() error {
+	if s.Route != nil {
+		if s.Route.Demands < 1 {
+			return errs.BadParamf("scenario %q: route stage needs demands >= 1", s.describe())
+		}
+		switch s.Route.Mode {
+		case "", "shortest", "capacitated", "maxmin":
+		default:
+			return errs.BadParamf("scenario %q: unknown route mode %q", s.describe(), s.Route.Mode)
+		}
+		if s.Route.Volume < 0 {
+			return errs.BadParamf("scenario %q: negative route volume", s.describe())
+		}
+	}
+	if s.Attack != nil {
+		if _, err := robust.ParseStrategy(s.Attack.Strategy); err != nil {
+			return err
+		}
+		for _, f := range s.Attack.Fracs {
+			if f < 0 || f >= 1 {
+				return errs.BadParamf("scenario %q: attack fraction %v out of [0,1)", s.describe(), f)
+			}
+		}
+		if s.Attack.Trials < 0 {
+			return errs.BadParamf("scenario %q: negative attack trials", s.describe())
+		}
+	}
+	if s.Reps < 0 {
+		return errs.BadParamf("scenario %q: negative reps", s.describe())
+	}
+	return nil
+}
+
+func (s *Scenario) describe() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Generate.Model
+}
+
+// identityKey is the cache key of one generated topology: the model, the
+// fully-resolved parameter set in sorted-name order, and the effective
+// seed. Two scenarios that generate the same topology — whatever their
+// measure/route/attack stages — share one frozen snapshot.
+func identityKey(model string, resolved Params, seed int64) string {
+	names := make([]string, 0, len(resolved))
+	for name := range resolved {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(model)
+	for _, name := range names {
+		if name == "seed" {
+			continue
+		}
+		b.WriteByte('|')
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(resolved[name], 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, "|seed=%d", seed)
+	return b.String()
+}
+
+// ParseSpec decodes a scenario spec document: a single Scenario object,
+// a JSON array of them, or {"scenarios": [...]}. Unknown fields are
+// rejected so typos in stage names fail loudly instead of silently
+// skipping work.
+func ParseSpec(data []byte) ([]Scenario, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, errs.BadParamf("scenario: empty spec")
+	}
+	strict := func(raw []byte, v any) error {
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+	if strings.HasPrefix(trimmed, "[") {
+		var out []Scenario
+		if err := strict(data, &out); err != nil {
+			return nil, errs.BadParamf("scenario: parse spec array: %v", err)
+		}
+		return out, nil
+	}
+	var batch struct {
+		Scenarios []Scenario `json:"scenarios"`
+	}
+	if err := strict(data, &batch); err == nil && len(batch.Scenarios) > 0 {
+		return batch.Scenarios, nil
+	}
+	var one Scenario
+	if err := strict(data, &one); err != nil {
+		return nil, errs.BadParamf("scenario: parse spec: %v", err)
+	}
+	return []Scenario{one}, nil
+}
+
+// DegreeSummary is the measure stage's degree-family output.
+type DegreeSummary struct {
+	MeanDegree float64 `json:"mean_degree"`
+	MaxDegree  int     `json:"max_degree"`
+	Tail       string  `json:"tail"`
+}
+
+// RouteSummary is the route stage's output.
+type RouteSummary struct {
+	Mode           string  `json:"mode"`
+	Delivered      float64 `json:"delivered"`
+	Dropped        float64 `json:"dropped"`
+	MaxUtilization float64 `json:"max_utilization"`
+	AvgHops        float64 `json:"avg_hops"`
+	// Jain is the fairness index; only the maxmin mode fills it.
+	Jain float64 `json:"jain,omitempty"`
+}
+
+// RepResult is one replication's output.
+type RepResult struct {
+	Seed    int64               `json:"seed"`
+	Nodes   int                 `json:"nodes"`
+	Edges   int                 `json:"edges"`
+	Profile *metrics.Profile    `json:"profile,omitempty"`
+	Degrees *DegreeSummary      `json:"degrees,omitempty"`
+	Route   *RouteSummary       `json:"route,omitempty"`
+	Attack  []robust.SweepPoint `json:"attack,omitempty"`
+}
+
+// Result is one scenario's full output: a RepResult per replication, in
+// replication order regardless of worker count.
+type Result struct {
+	Scenario Scenario    `json:"scenario"`
+	Reps     []RepResult `json:"reps"`
+}
+
+// Format renders the result as an aligned text table whose bytes are
+// identical for any Engine worker count.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (model=%s, reps=%d)\n",
+		r.Scenario.describe(), r.Scenario.Generate.Model, len(r.Reps))
+	header := []string{"rep", "seed", "nodes", "edges"}
+	if r.Scenario.Measure != nil {
+		m := r.Scenario.Measure
+		if m.Profile || !m.Degrees {
+			header = append(header, "exp@3", "resil", "distort", "hier", "gap")
+		}
+		if m.Degrees {
+			header = append(header, "meandeg", "maxdeg", "tail")
+		}
+	}
+	if r.Scenario.Route != nil {
+		header = append(header, "mode", "delivered", "dropped", "maxutil", "avghops", "jain")
+	}
+	if r.Scenario.Attack != nil {
+		header = append(header, "lcc@fracs")
+	}
+	rows := make([][]string, 0, len(r.Reps))
+	for i, rep := range r.Reps {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.FormatInt(rep.Seed, 10),
+			strconv.Itoa(rep.Nodes),
+			strconv.Itoa(rep.Edges),
+		}
+		if rep.Profile != nil {
+			row = append(row,
+				f4(rep.Profile.ExpansionAt3), f4(rep.Profile.Resilience),
+				f4(rep.Profile.Distortion), f4(rep.Profile.HierarchyDepth),
+				f4(rep.Profile.SpectralGap))
+		}
+		if rep.Degrees != nil {
+			row = append(row, f4(rep.Degrees.MeanDegree),
+				strconv.Itoa(rep.Degrees.MaxDegree), rep.Degrees.Tail)
+		}
+		if rep.Route != nil {
+			row = append(row, rep.Route.Mode,
+				f4(rep.Route.Delivered), f4(rep.Route.Dropped),
+				f4(rep.Route.MaxUtilization), f4(rep.Route.AvgHops),
+				f4(rep.Route.Jain))
+		}
+		if rep.Attack != nil {
+			cells := make([]string, len(rep.Attack))
+			for k, pt := range rep.Attack {
+				cells[k] = fmt.Sprintf("%g:%s", pt.FracRemoved, f4(pt.LCCFrac))
+			}
+			row = append(row, strings.Join(cells, " "))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, header, rows)
+	return b.String()
+}
+
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func writeAligned(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
