@@ -24,27 +24,24 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/export"
 	"repro/internal/graph"
+	"repro/internal/params"
 	"repro/internal/scenario"
 )
 
-// paramFlags collects repeatable -param name=value pairs.
+// paramFlags collects repeatable -param name=value pairs through the
+// shared parser (internal/params), so CLI parsing and spec validation
+// reject the same inputs.
 type paramFlags scenario.Params
 
 func (p paramFlags) String() string { return fmt.Sprintf("%v", scenario.Params(p)) }
 
 func (p paramFlags) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok || name == "" {
-		return fmt.Errorf("want name=value, got %q", s)
-	}
-	v, err := strconv.ParseFloat(val, 64)
+	name, v, err := params.ParseKV(s)
 	if err != nil {
-		return fmt.Errorf("parameter %q: %v", name, err)
+		return err
 	}
 	p[name] = v
 	return nil

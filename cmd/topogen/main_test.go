@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 
@@ -132,5 +133,22 @@ func TestListModels(t *testing.T) {
 	}
 	if !strings.Contains(out, "-param seed=<int>") {
 		t.Errorf("-list output missing parameter lines:\n%s", out)
+	}
+}
+
+func TestListModelsSorted(t *testing.T) {
+	var b strings.Builder
+	listModels(&b)
+	var names []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line != "" && !strings.HasPrefix(line, " ") {
+			names = append(names, line)
+		}
+	}
+	if len(names) < 10 {
+		t.Fatalf("suspiciously few models listed: %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("-list output not sorted: %v", names)
 	}
 }

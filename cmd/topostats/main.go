@@ -1,12 +1,23 @@
-// Command topostats computes the full metric suite on a topology file
-// (JSON produced by topogen, or a plain adjacency list).
+// Command topostats computes topology metrics on a topology file (JSON
+// produced by topogen, or a plain adjacency list), built on the metric
+// registry (internal/metricreg).
 //
 // Usage:
 //
 //	topogen -model fkp -n 2000 | topostats
 //	topostats -in topo.json
 //	topostats -in edges.txt -adj
-//	topostats -in topo.json -ccdf        # also print the degree CCDF
+//	topostats -in topo.json -ccdf                  # also print the degree CCDF
+//	topostats -list                                 # enumerate registry metrics
+//	topostats -in topo.json -metrics clustering,expansion,diameter
+//	topostats -in topo.json -metrics expansion -param expansion.maxh=5
+//
+// Without -metrics the full default report (degree statistics, tail
+// classification, the [30]-style comparison profile) is printed. With
+// -metrics, exactly the named registry metrics are evaluated — as one
+// fused schedule sharing traversals over a single frozen snapshot — and
+// printed in selection order; repeatable -param metric.name=value flags
+// set metric parameters.
 //
 // Malformed input (corrupt JSON, bad adjacency lines, an empty
 // topology) exits non-zero with a diagnostic on stderr and writes no
@@ -14,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,29 +34,66 @@ import (
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/graph"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		in   = flag.String("in", "-", "input file ('-' = stdin)")
-		adj  = flag.Bool("adj", false, "input is an adjacency list, not JSON")
-		ccdf = flag.Bool("ccdf", false, "print the degree CCDF")
-		seed = flag.Int64("seed", 1, "seed for sampled metrics")
+		in      = flag.String("in", "-", "input file ('-' = stdin)")
+		adj     = flag.Bool("adj", false, "input is an adjacency list, not JSON")
+		ccdf    = flag.Bool("ccdf", false, "print the degree CCDF")
+		seed    = flag.Int64("seed", 1, "seed for sampled metrics")
+		list    = flag.Bool("list", false, "list registered metrics with their parameters and exit")
+		metricF = flag.String("metrics", "", "comma-separated registry metrics to evaluate (empty = full default report)")
 	)
+	var mparams stringList
+	flag.Var(&mparams, "param", "metric parameter as metric.name=value (repeatable; requires -metrics)")
 	flag.Parse()
 
-	if err := run(*in, *adj, *ccdf, *seed, os.Stdin, os.Stdout); err != nil {
+	if *list {
+		listMetrics(os.Stdout)
+		return
+	}
+	if err := run(*in, *adj, *ccdf, *seed, *metricF, mparams, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "topostats: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprintf("%v", []string(*l)) }
+
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+// listMetrics prints the metric registry, sorted by name.
+func listMetrics(w io.Writer) {
+	metricreg.Default().FormatMetrics(w, "-param ")
+}
+
 // run reads, validates, and reports on one topology. It writes nothing
-// to w until the input has parsed and validated, so a failure never
-// leaves partial output behind.
-func run(in string, adj, ccdf bool, seed int64, stdin io.Reader, w io.Writer) error {
+// to w until the input has parsed, validated, and (with -metrics) the
+// selection has resolved, so a failure never leaves partial output
+// behind.
+func run(in string, adj, ccdf bool, seed int64, metricF string, mparams []string, stdin io.Reader, w io.Writer) error {
+	var set []metricreg.Selection
+	if metricF != "" {
+		var err error
+		if set, err = metricreg.ParseSelections(metricF, mparams); err != nil {
+			return err
+		}
+		if ccdf {
+			return fmt.Errorf("-ccdf applies to the default report, not -metrics")
+		}
+	} else if len(mparams) > 0 {
+		return fmt.Errorf("-param requires -metrics")
+	}
 	r := stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -68,6 +117,10 @@ func run(in string, adj, ccdf bool, seed int64, stdin io.Reader, w io.Writer) er
 	}
 	if g.NumNodes() == 0 {
 		return fmt.Errorf("input %q holds an empty topology (no nodes)", in)
+	}
+
+	if set != nil {
+		return runMetricSet(w, g, name, set, seed)
 	}
 
 	fmt.Fprintf(w, "topology: %s\n", name)
@@ -95,6 +148,33 @@ func run(in string, adj, ccdf bool, seed int64, stdin io.Reader, w io.Writer) er
 		for _, pt := range stats.DegreeCCDF(g.Degrees()) {
 			fmt.Fprintf(w, "  %4d  %.6f\n", pt.Value, pt.Frac)
 		}
+	}
+	return nil
+}
+
+// runMetricSet evaluates the selected metrics as one fused schedule and
+// prints them in selection order.
+func runMetricSet(w io.Writer, g *graph.Graph, name string, set []metricreg.Selection, seed int64) error {
+	vals, err := metricreg.Evaluate(context.Background(), metricreg.NewSource(g, nil), set,
+		metricreg.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "topology: %s\n", name)
+	fmt.Fprintf(w, "nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
+	for _, sel := range set {
+		v := vals[sel.Name]
+		fmt.Fprintf(w, "%s: %.6f", sel.Name, v.Scalar)
+		if len(v.Series) > 0 {
+			fmt.Fprintf(w, "  series=")
+			for i, s := range v.Series {
+				if i > 0 {
+					fmt.Fprintf(w, ",")
+				}
+				fmt.Fprintf(w, "%.6f", s)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -16,14 +17,16 @@ func write(t *testing.T, name, content string) string {
 	return p
 }
 
+const tinyJSON = `{
+	"name": "tiny",
+	"nodes": [{"id": 0}, {"id": 1}, {"id": 2}],
+	"edges": [{"u": 0, "v": 1, "weight": 1}, {"u": 1, "v": 2, "weight": 1}]
+}`
+
 func TestRunValidJSON(t *testing.T) {
-	p := write(t, "topo.json", `{
-		"name": "tiny",
-		"nodes": [{"id": 0}, {"id": 1}, {"id": 2}],
-		"edges": [{"u": 0, "v": 1, "weight": 1}, {"u": 1, "v": 2, "weight": 1}]
-	}`)
+	p := write(t, "topo.json", tinyJSON)
 	var b strings.Builder
-	if err := run(p, false, false, 1, nil, &b); err != nil {
+	if err := run(p, false, false, 1, "", nil, nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -54,7 +57,7 @@ func TestRunCorruptInputsFailWithoutOutput(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			p := write(t, tc.name, tc.content)
 			var b strings.Builder
-			err := run(p, tc.adj, false, 1, nil, &b)
+			err := run(p, tc.adj, false, 1, "", nil, nil, &b)
 			if err == nil {
 				t.Fatalf("corrupt input %q accepted", tc.name)
 			}
@@ -66,7 +69,95 @@ func TestRunCorruptInputsFailWithoutOutput(t *testing.T) {
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, false, 1, nil, nil); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, false, 1, "", nil, nil, nil); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunMetricSelection(t *testing.T) {
+	p := write(t, "topo.json", tinyJSON)
+	var b strings.Builder
+	err := run(p, false, false, 1, "clustering,mean-degree,expansion", []string{"expansion.maxh=2"}, nil, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Metric lines appear after the 3 header lines, in selection order.
+	if len(lines) != 6 {
+		t.Fatalf("want 6 output lines, got %d:\n%s", len(lines), out)
+	}
+	for i, prefix := range []string{"clustering: ", "mean-degree: ", "expansion: "} {
+		if !strings.HasPrefix(lines[3+i], prefix) {
+			t.Errorf("line %d = %q, want prefix %q", 3+i, lines[3+i], prefix)
+		}
+	}
+	// A path of 3 nodes has mean degree 4/3.
+	if !strings.HasPrefix(lines[4], "mean-degree: 1.333333") {
+		t.Errorf("mean-degree line = %q", lines[4])
+	}
+	if !strings.Contains(lines[5], "series=") {
+		t.Errorf("expansion line missing series: %q", lines[5])
+	}
+}
+
+func TestRunMetricSelectionErrors(t *testing.T) {
+	p := write(t, "topo.json", tinyJSON)
+	cases := []struct {
+		metrics string
+		params  []string
+	}{
+		{"nope", nil},
+		{"clustering,clustering", nil},
+		{"clustering", []string{"clustering.bogus=1"}},
+		{"clustering", []string{"expansion.maxh=2"}}, // names a metric outside the set
+		{"clustering", []string{"garbage"}},
+		{"", []string{"clustering.x=1"}}, // -param without -metrics
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		if err := run(p, false, false, 1, tc.metrics, tc.params, nil, &b); err == nil {
+			t.Errorf("metrics=%q params=%v accepted", tc.metrics, tc.params)
+		}
+		if b.Len() != 0 {
+			t.Errorf("metrics=%q params=%v produced partial output", tc.metrics, tc.params)
+		}
+	}
+}
+
+func TestListMetricsSortedAndComplete(t *testing.T) {
+	var b strings.Builder
+	listMetrics(&b)
+	out := b.String()
+	var names []string
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, " ") {
+			names = append(names, line)
+		}
+	}
+	if len(names) < 10 {
+		t.Fatalf("suspiciously few metrics listed (%d):\n%s", len(names), out)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("-list output not sorted: %v", names)
+	}
+	for _, want := range []string{"expansion", "resilience", "clustering", "lcc", "spectral-gap"} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("-list missing metric %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "-param expansion.maxh=<int>") {
+		t.Errorf("-list missing parameter lines:\n%s", out)
+	}
+}
+
+func TestCCDFConflictsWithMetricSelection(t *testing.T) {
+	p := write(t, "topo.json", tinyJSON)
+	var b strings.Builder
+	if err := run(p, false, true, 1, "clustering", nil, nil, &b); err == nil {
+		t.Fatal("-ccdf with -metrics accepted")
+	}
+	if b.Len() != 0 {
+		t.Fatal("conflicting flags produced partial output")
 	}
 }

@@ -13,8 +13,12 @@
 // identity, and reduces batches in a fixed order so output is
 // byte-identical at any worker count. See Generator, Scenario,
 // NewEngine, and cmd/toposcenario; `topogen -list` enumerates the
-// registry. The free functions below remain as direct, stable wrappers
-// over the same internals.
+// registry. Measurement mirrors generation: every metric is registered
+// by name in a metric registry with typed parameters, and named metric
+// sets are evaluated as one fused schedule over a shared frozen
+// snapshot — see Metric, MetricSelection, EvaluateMetrics, and
+// `topostats -list`. The free functions below remain as direct, stable
+// wrappers over the same internals.
 //
 // The library is organized as the paper is:
 //
@@ -56,6 +60,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/isp"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/peering"
 	"repro/internal/robust"
@@ -110,6 +115,70 @@ type (
 	// ScenarioRepResult is one replication's output.
 	ScenarioRepResult = scenario.RepResult
 )
+
+// Metric registry: the measurement mirror of the generator registry.
+// Every metric is registered by name with typed parameters, and a set
+// of metrics is evaluated as one fused schedule — BFS-consuming metrics
+// share a single sweep over one frozen CSR snapshot.
+type (
+	// Metric is one registered measurement: name, typed parameter
+	// specs, declared capabilities, and an accumulator factory.
+	Metric = metricreg.Metric
+	// FuncMetric adapts specs plus an accumulator factory into a Metric.
+	FuncMetric = metricreg.FuncMetric
+	// MetricRegistry maps metric names to Metrics.
+	MetricRegistry = metricreg.Registry
+	// MetricSelection names one metric of a set with optional params.
+	MetricSelection = metricreg.Selection
+	// MetricValue is one metric's result (scalar + optional series).
+	MetricValue = metricreg.Value
+	// MetricSource is what a metric set is evaluated against: a frozen
+	// CSR, optionally its graph, and a shared connectivity bit.
+	MetricSource = metricreg.Source
+	// MetricEvalOptions tune one evaluation (workers, seed, stats).
+	MetricEvalOptions = metricreg.Options
+	// MetricEvalStats reports the fused schedule's traversal accounting.
+	MetricEvalStats = metricreg.EvalStats
+	// MetricCaps declares what a metric needs from its source.
+	MetricCaps = metricreg.Caps
+)
+
+// Metric capability flags.
+const (
+	// MetricCapGraph marks metrics needing the mutable *Graph.
+	MetricCapGraph = metricreg.CapGraph
+	// MetricCapConnected marks metrics consuming the shared
+	// connectivity bit.
+	MetricCapConnected = metricreg.CapConnected
+	// MetricCapMasked marks metrics supporting masked (node-removal)
+	// re-evaluation — the robustness-sweep contract.
+	MetricCapMasked = metricreg.CapMasked
+)
+
+// MetricNames lists every registered metric name, sorted.
+func MetricNames() []string { return metricreg.Names() }
+
+// RegisterMetric adds a custom metric to the default registry.
+func RegisterMetric(m Metric) error { return metricreg.Register(m) }
+
+// LookupMetric resolves a metric name in the default registry.
+func LookupMetric(name string) (Metric, error) { return metricreg.Lookup(name) }
+
+// NewMetricSource builds an evaluation source: pass both to reuse an
+// existing CSR, g alone to freeze internally, or c alone for a
+// CSR-only source.
+func NewMetricSource(g *Graph, c *CSR) *MetricSource { return metricreg.NewSource(g, c) }
+
+// EvaluateMetrics computes a named metric set against src as one fused
+// schedule on the default registry; results are keyed by metric name
+// and byte-identical for any worker count.
+func EvaluateMetrics(ctx context.Context, src *MetricSource, set []MetricSelection, opt MetricEvalOptions) (map[string]MetricValue, error) {
+	return metricreg.Evaluate(ctx, src, set, opt)
+}
+
+// ProfileMetricSet is the metric set ComputeProfile evaluates, as a
+// starting point for custom sets.
+func ProfileMetricSet() []MetricSelection { return metrics.ProfileSet() }
 
 // NewEngine returns a scenario engine over reg (nil = the default
 // registry holding every built-in model).
@@ -516,6 +585,18 @@ func RobustnessSweep(g *Graph, strat AttackStrategy, fracs []float64, trials int
 // explicit worker bound (<= 0 = GOMAXPROCS).
 func RobustnessSweepContext(ctx context.Context, g *Graph, c *CSR, strat AttackStrategy, fracs []float64, trials int, seed int64, workers int) ([]robust.SweepPoint, error) {
 	return robust.SweepContext(ctx, g, c, strat, fracs, trials, seed, workers)
+}
+
+// RobustnessMetricCurve is one masked metric's values across a sweep's
+// removal fractions.
+type RobustnessMetricCurve = robust.MetricCurve
+
+// RobustnessMetricSweep generalizes the robustness sweep to any set of
+// masked-capable registry metrics (MetricCapMasked, e.g. "lcc",
+// "mean-degree"): each metric is re-evaluated under the same mask
+// schedule, reusing one accumulator per trial across attack steps.
+func RobustnessMetricSweep(ctx context.Context, g *Graph, c *CSR, strat AttackStrategy, fracs []float64, trials int, seed int64, workers int, metricNames []string) ([]RobustnessMetricCurve, error) {
+	return robust.MetricSweepContext(ctx, g, c, strat, fracs, trials, seed, workers, metricNames)
 }
 
 // ParseAttackStrategy maps a strategy name ("random", "degree",

@@ -140,8 +140,14 @@ func WriteAdjacency(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
+// maxAdjacencyNodeID bounds node ids accepted from adjacency input:
+// the node count is inferred from the maximum id, so an absurd id in a
+// malformed or hostile file would otherwise force an absurd allocation.
+const maxAdjacencyNodeID = 1 << 26
+
 // ReadAdjacency parses the WriteAdjacency format. Node count is inferred
-// from the maximum id; nodes get zero annotations.
+// from the maximum id; nodes get zero annotations. Ids above
+// maxAdjacencyNodeID (2^26) are rejected.
 func ReadAdjacency(r io.Reader) (*graph.Graph, error) {
 	type edge struct {
 		u, v int
@@ -178,6 +184,9 @@ func ReadAdjacency(r io.Reader) (*graph.Graph, error) {
 		}
 		if u < 0 || v < 0 || u == v {
 			return nil, fmt.Errorf("export: line %d: bad edge (%d,%d)", line, u, v)
+		}
+		if u > maxAdjacencyNodeID || v > maxAdjacencyNodeID {
+			return nil, fmt.Errorf("export: line %d: node id beyond %d", line, maxAdjacencyNodeID)
 		}
 		if u > maxID {
 			maxID = u

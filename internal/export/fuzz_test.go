@@ -1,0 +1,44 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary bytes on the topology-ingest path must parse
+// or fail with an error — never panic, never return a graph alongside
+// an error.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"name":"t","nodes":[{"id":0},{"id":1}],"edges":[{"u":0,"v":1,"weight":1}]}`)
+	f.Add(`{"name":"x","nodes":[{"id":0}`)
+	f.Add(`{"name":"x","nodes":[{"id":0}],"edges":[]} trailing`)
+	f.Add(`{"nodes":[{"id":5}],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":0}],"edges":[{"u":0,"v":9}]}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, data string) {
+		g, _, err := ReadJSON(strings.NewReader(data))
+		if err != nil && g != nil {
+			t.Fatalf("ReadJSON returned both a graph and an error: %v", err)
+		}
+	})
+}
+
+// FuzzReadAdjacency: the plain-text ingest path gets the same
+// guarantee.
+func FuzzReadAdjacency(f *testing.F) {
+	f.Add("0 1 1.0\n1 2 2.0\n")
+	f.Add("# comment\n\n0 1\n")
+	f.Add("not an edge\n")
+	f.Add("0 0\n")
+	f.Add("-1 2\n")
+	f.Add("0 1 x\n")
+	f.Add("999999 1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadAdjacency(strings.NewReader(data))
+		if err != nil && g != nil {
+			t.Fatalf("ReadAdjacency returned both a graph and an error: %v", err)
+		}
+	})
+}

@@ -7,25 +7,25 @@
 // §1 claim: a generator tuned to match one metric (the degree
 // distribution) can still "look very dissimilar on others."
 //
-// ComputeProfile freezes the graph into one shared CSR snapshot
-// (internal/graph) and evaluates the metric families concurrently, each
-// on pooled workspaces; every reduction is performed in a fixed order,
-// so results are identical for any worker count. ProfileContext is the
-// cancellable variant used by the scenario engine: it accepts a
-// caller-provided frozen snapshot (so cached topologies are never
-// re-frozen) and checks its context at iteration boundaries, returning
-// an errs.ErrCanceled-wrapping error when the context is done.
+// Since the metric-registry refactor this package is a thin composition
+// over internal/metricreg: every metric here is registered by name
+// ("expansion", "resilience", "distortion", "hierarchy-depth",
+// "spectral-gap", ...), and ComputeProfile evaluates the whole suite as
+// one fused metric set — shared frozen CSR, shared BFS sweeps, pooled
+// workspaces, reductions in fixed order so results are identical for
+// any worker count. The free functions below keep their historical
+// signatures and exact numerical behavior (pinned by the golden parity
+// test); ProfileContext is the cancellable variant the scenario engine
+// uses, accepting a caller-provided frozen snapshot so cached
+// topologies are never re-frozen.
 package metrics
 
 import (
 	"context"
-	"math"
-	"sort"
 
-	"repro/internal/errs"
 	"repro/internal/graph"
-	"repro/internal/par"
-	"repro/internal/rng"
+	"repro/internal/metricreg"
+	"repro/internal/params"
 )
 
 // Expansion measures how rapidly BFS balls grow: the average, over sample
@@ -36,50 +36,17 @@ import (
 // sampleSources bounds the number of BFS sources (all nodes if <= 0 or
 // larger than n); sources are chosen deterministically from seed.
 func Expansion(g *graph.Graph, maxH, sampleSources int, seed int64) []float64 {
-	out, _ := expansionCSR(context.Background(), g.Freeze(), maxH, sampleSources, seed, 0)
-	return out
-}
-
-func expansionCSR(ctx context.Context, c *graph.CSR, maxH, sampleSources int, seed int64, workers int) ([]float64, error) {
-	n := c.NumNodes()
-	if n == 0 || maxH <= 0 {
-		return nil, nil
-	}
-	sources := chooseSources(n, sampleSources, seed)
-	// One hop-histogram row per source, filled in parallel (disjoint
-	// writes), then reduced in source order for determinism.
-	counts := make([][]int, len(sources))
-	err := par.ForEachErr(workers, len(sources), func(si int) error {
-		if err := errs.Ctx(ctx); err != nil {
-			return err
-		}
-		ws := graph.GetWorkspace(n)
-		defer ws.Release()
-		c.BFS(ws, sources[si])
-		row := make([]int, maxH+1)
-		for _, d := range ws.Hop[:n] {
-			if d >= 0 && int(d) <= maxH {
-				row[d]++
-			}
-		}
-		counts[si] = row
+	if g.NumNodes() == 0 || maxH <= 0 {
 		return nil
+	}
+	vals, err := evalOne(context.Background(), g, nil, seed, 0, metricreg.Selection{
+		Name:   "expansion",
+		Params: params.Params{"maxh": float64(maxH), "sources": float64(sampleSources)},
 	})
 	if err != nil {
-		return nil, err
+		return nil
 	}
-	out := make([]float64, maxH+1)
-	for _, row := range counts {
-		acc := 0
-		for h := 0; h <= maxH; h++ {
-			acc += row[h]
-			out[h] += float64(acc) / float64(n)
-		}
-	}
-	for h := range out {
-		out[h] /= float64(len(sources))
-	}
-	return out, nil
+	return vals.Series
 }
 
 // Resilience measures how gracefully connectivity degrades under random
@@ -92,46 +59,17 @@ func expansionCSR(ctx context.Context, c *graph.CSR, maxH, sampleSources int, se
 // largest component on the shared snapshot — no subgraph copies — and
 // trials run in parallel.
 func Resilience(g *graph.Graph, steps, trials int, seed int64) float64 {
-	out, _ := resilienceCSR(context.Background(), g.Freeze(), steps, trials, seed, 0)
-	return out
-}
-
-func resilienceCSR(ctx context.Context, c *graph.CSR, steps, trials int, seed int64, workers int) (float64, error) {
-	n := c.NumNodes()
-	if n == 0 || steps <= 0 || trials <= 0 {
-		return 0, nil
+	if g.NumNodes() == 0 || steps <= 0 || trials <= 0 {
+		return 0
 	}
-	perTrial := make([]float64, trials)
-	err := par.ForEachErr(workers, trials, func(trial int) error {
-		if err := errs.Ctx(ctx); err != nil {
-			return err
-		}
-		r := rng.New(rng.Derive(seed, trial))
-		perm := rng.Shuffle(r, n)
-		ws := graph.GetWorkspace(n)
-		defer ws.Release()
-		removed := make([]bool, n)
-		prev := 0
-		sum := 0.0
-		for s := 1; s <= steps; s++ {
-			frac := float64(s) / float64(steps+1)
-			k := int(frac * float64(n))
-			for ; prev < k; prev++ {
-				removed[perm[prev]] = true
-			}
-			sum += float64(c.LargestComponentMasked(ws, removed)) / float64(n)
-		}
-		perTrial[trial] = sum
-		return nil
+	vals, err := evalOne(context.Background(), g, nil, seed, 0, metricreg.Selection{
+		Name:   "resilience",
+		Params: params.Params{"steps": float64(steps), "trials": float64(trials)},
 	})
 	if err != nil {
-		return 0, err
+		return 0
 	}
-	total := 0.0
-	for _, s := range perTrial {
-		total += s
-	}
-	return total / float64(steps*trials), nil
+	return vals.Scalar
 }
 
 // Distortion measures how well the graph's own spanning structure
@@ -140,89 +78,15 @@ func resilienceCSR(ctx context.Context, c *graph.CSR, steps, trials int, seed in
 // between the edge's endpoints — equivalently how much the tree "stretches"
 // adjacent pairs. A tree has distortion 1; meshes with much redundancy
 // have higher distortion.
-//
-// Implementation: build an MST T (by edge weight; falls back to hop count
-// when weights are zero), then average over all *graph* edges (u,v) the
-// hop distance between u and v in T, with the per-source tree BFS runs
-// fanned out across the worker pool.
 func Distortion(g *graph.Graph, sampleEdges int, seed int64) float64 {
-	out, _ := distortion(context.Background(), g, sampleEdges, seed, 0)
-	return out
-}
-
-func distortion(ctx context.Context, g *graph.Graph, sampleEdges int, seed int64, workers int) (float64, error) {
-	m := g.NumEdges()
-	n := g.NumNodes()
-	if m == 0 || n == 0 {
-		return 0, nil
-	}
-	// Build MST as its own graph.
-	mstIDs, _ := g.KruskalMST()
-	tree := graph.New(n)
-	for i := 0; i < n; i++ {
-		tree.AddNode(*g.Node(i))
-	}
-	for _, id := range mstIDs {
-		e := g.Edge(id)
-		tree.AddEdge(graph.Edge{U: e.U, V: e.V, Weight: e.Weight})
-	}
-	// Sample non-tree edges (tree edges have distortion exactly 1).
-	edges := make([]int, 0, m)
-	for i := 0; i < m; i++ {
-		edges = append(edges, i)
-	}
-	if sampleEdges > 0 && sampleEdges < m {
-		r := rng.New(seed)
-		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-		edges = edges[:sampleEdges]
-	}
-	// Group queries by source to share BFS runs.
-	bySrc := map[int][]int{}
-	for _, id := range edges {
-		e := g.Edge(id)
-		bySrc[e.U] = append(bySrc[e.U], e.V)
-	}
-	srcs := make([]int, 0, len(bySrc))
-	for s := range bySrc {
-		srcs = append(srcs, s)
-	}
-	sort.Ints(srcs)
-	tc := tree.Freeze()
-	type partial struct {
-		total float64
-		count int
-	}
-	perSrc := make([]partial, len(srcs))
-	err := par.ForEachErr(workers, len(srcs), func(si int) error {
-		if err := errs.Ctx(ctx); err != nil {
-			return err
-		}
-		ws := graph.GetWorkspace(n)
-		defer ws.Release()
-		tc.BFS(ws, srcs[si])
-		p := partial{}
-		for _, v := range bySrc[srcs[si]] {
-			if ws.Hop[v] > 0 {
-				p.total += float64(ws.Hop[v])
-				p.count++
-			}
-		}
-		perSrc[si] = p
-		return nil
+	vals, err := evalOne(context.Background(), g, nil, seed, 0, metricreg.Selection{
+		Name:   "distortion",
+		Params: params.Params{"sample": float64(sampleEdges)},
 	})
 	if err != nil {
-		return 0, err
+		return 0
 	}
-	total := 0.0
-	count := 0
-	for _, p := range perSrc {
-		total += p.total
-		count += p.count
-	}
-	if count == 0 {
-		return 0, nil
-	}
-	return total / float64(count), nil
+	return vals.Scalar
 }
 
 // HierarchyDepth classifies how tree-like / layered a rooted topology is:
@@ -230,31 +94,17 @@ func distortion(ctx context.Context, g *graph.Graph, sampleEdges int, seed int64
 // balanced binary tree scores ~1, a star ~1/log2(n), and a path ~n/(2
 // log2 n). Root is the node with maximum betweenness when root < 0.
 func HierarchyDepth(g *graph.Graph, root int) float64 {
-	n := g.NumNodes()
-	if n < 2 {
+	if root < -1 {
+		root = -1
+	}
+	vals, err := evalOne(context.Background(), g, nil, 0, 0, metricreg.Selection{
+		Name:   "hierarchy-depth",
+		Params: params.Params{"root": float64(root)},
+	})
+	if err != nil {
 		return 0
 	}
-	if root < 0 {
-		bc := g.Betweenness()
-		root = 0
-		for i, b := range bc {
-			if b > bc[root] {
-				root = i
-			}
-		}
-	}
-	dist, _ := g.BFS(root)
-	total, count := 0, 0
-	for _, d := range dist {
-		if d > 0 {
-			total += d
-			count++
-		}
-	}
-	if count == 0 {
-		return 0
-	}
-	return (float64(total) / float64(count)) / math.Log2(float64(n))
+	return vals.Scalar
 }
 
 // SpectralGap estimates the second-smallest eigenvalue of the normalized
@@ -262,106 +112,24 @@ func HierarchyDepth(g *graph.Graph, root int) float64 {
 // on the deflated matrix. Larger gap ⇒ better expansion / harder to cut.
 // Returns 0 for disconnected or trivial graphs.
 func SpectralGap(g *graph.Graph, iters int) float64 {
-	if !g.IsConnected() {
+	vals, err := evalOne(context.Background(), g, nil, 0, 0, metricreg.Selection{
+		Name:   "spectral-gap",
+		Params: params.Params{"iters": float64(iters)},
+	})
+	if err != nil {
 		return 0
 	}
-	out, _ := spectralGapCSR(context.Background(), g.Freeze(), iters)
-	return out
+	return vals.Scalar
 }
 
-// spectralGapCSR assumes the snapshot is of a connected graph.
-func spectralGapCSR(ctx context.Context, c *graph.CSR, iters int) (float64, error) {
-	n := c.NumNodes()
-	if n < 2 {
-		return 0, nil
+// evalOne runs a single-metric set through the default registry.
+func evalOne(ctx context.Context, g *graph.Graph, c *graph.CSR, seed int64, workers int, sel metricreg.Selection) (metricreg.Value, error) {
+	vals, err := metricreg.Evaluate(ctx, metricreg.NewSource(g, c), []metricreg.Selection{sel},
+		metricreg.Options{Workers: workers, Seed: seed})
+	if err != nil {
+		return metricreg.Value{}, err
 	}
-	if iters <= 0 {
-		iters = 200
-	}
-	// We find the second-largest eigenvalue mu of the normalized adjacency
-	// walk matrix N = D^-1/2 A D^-1/2 by power iteration with deflation of
-	// the known top eigenvector v1(i) = sqrt(deg_i). Then lambda2 = 1 - mu.
-	invSqrtDeg := make([]float64, n)
-	v1 := make([]float64, n)
-	norm := 0.0
-	for i := 0; i < n; i++ {
-		d := float64(c.Degree(i))
-		v1[i] = math.Sqrt(d)
-		if d > 0 {
-			invSqrtDeg[i] = 1 / math.Sqrt(d)
-		}
-		norm += v1[i] * v1[i]
-	}
-	norm = math.Sqrt(norm)
-	for i := range v1 {
-		v1[i] /= norm
-	}
-	// Deterministic pseudo-random start vector.
-	x := make([]float64, n)
-	r := rng.New(12345)
-	for i := range x {
-		x[i] = r.Float64() - 0.5
-	}
-	y := make([]float64, n)
-	var mu float64
-	for it := 0; it < iters; it++ {
-		if err := errs.Ctx(ctx); err != nil {
-			return 0, err
-		}
-		// Deflate: x ← x - (v1·x) v1.
-		dot := 0.0
-		for i := range x {
-			dot += x[i] * v1[i]
-		}
-		for i := range x {
-			x[i] -= dot * v1[i]
-		}
-		// y = (N + I)/2 * x  — shift to make all eigenvalues non-negative,
-		// preserving order. (N's spectrum lies in [-1, 1].)
-		for i := range y {
-			y[i] = 0
-		}
-		for u := 0; u < n; u++ {
-			if invSqrtDeg[u] == 0 {
-				continue
-			}
-			xu := x[u]
-			c.Neighbors(u, func(v int, _ int, _ float64) {
-				y[v] += xu * invSqrtDeg[u] * invSqrtDeg[v]
-			})
-		}
-		for i := range y {
-			y[i] = (y[i] + x[i]) / 2
-		}
-		// Rayleigh quotient for (N+I)/2, then undo the shift.
-		num, den := 0.0, 0.0
-		for i := range y {
-			num += y[i] * x[i]
-			den += x[i] * x[i]
-		}
-		if den == 0 {
-			return 0, nil
-		}
-		shifted := num / den
-		mu = 2*shifted - 1
-		// Normalize and continue.
-		ynorm := 0.0
-		for i := range y {
-			ynorm += y[i] * y[i]
-		}
-		ynorm = math.Sqrt(ynorm)
-		if ynorm == 0 {
-			return 0, nil
-		}
-		for i := range y {
-			x[i] = y[i] / ynorm
-		}
-	}
-	lambda2 := 1 - mu
-	if lambda2 < 0 {
-		lambda2 = 0
-	}
-	return lambda2, nil
+	return vals[sel.Name], nil
 }
 
 // Profile bundles the comparison metrics for one topology, as used by
@@ -376,6 +144,20 @@ type Profile struct {
 	SpectralGap    float64
 }
 
+// ProfileSet is the metric set ComputeProfile evaluates: the [30]-style
+// comparison battery with deterministic sampling budgets suitable for
+// graphs up to a few thousand nodes. Callers composing their own sets
+// (scenario Measure stages, cmd/topostats -metrics) can start from it.
+func ProfileSet() []metricreg.Selection {
+	return []metricreg.Selection{
+		{Name: "expansion", Params: params.Params{"maxh": 3, "sources": 50}},
+		{Name: "resilience", Params: params.Params{"steps": 10, "trials": 3}},
+		{Name: "distortion", Params: params.Params{"sample": 2000}},
+		{Name: "hierarchy-depth"},
+		{Name: "spectral-gap", Params: params.Params{"iters": 150}},
+	}
+}
+
 // ComputeProfile evaluates the full metric suite with deterministic
 // sampling budgets suitable for graphs up to a few thousand nodes, using
 // every available core. Equivalent to ComputeProfileParallel(g, seed, 0).
@@ -384,13 +166,13 @@ func ComputeProfile(g *graph.Graph, seed int64) Profile {
 }
 
 // ComputeProfileParallel is ComputeProfile with an explicit worker count
-// (<= 0 means GOMAXPROCS). The graph is frozen once and the metric
-// families run concurrently on the shared snapshot; results are
-// identical for any worker count. workers bounds each fan-out level
-// (the family group and each family's internal sweep) rather than the
-// total goroutine count — excess goroutines are cheap and the Go
-// scheduler time-shares them, so workers=1 is the meaningful sequential
-// baseline and larger values trade precision of the bound for scaling.
+// (<= 0 means GOMAXPROCS). The graph is frozen once and the metric set
+// is evaluated as one fused schedule on the shared snapshot; results
+// are identical for any worker count. workers bounds each fan-out level
+// (the task group and each task's internal sweep) rather than the total
+// goroutine count — excess goroutines are cheap and the Go scheduler
+// time-shares them, so workers=1 is the meaningful sequential baseline
+// and larger values trade precision of the bound for scaling.
 func ComputeProfileParallel(g *graph.Graph, seed int64, workers int) Profile {
 	p, _ := ProfileContext(context.Background(), g, nil, seed, workers)
 	return p
@@ -398,60 +180,26 @@ func ComputeProfileParallel(g *graph.Graph, seed int64, workers int) Profile {
 
 // ProfileContext is ComputeProfileParallel with cancellation and an
 // optional pre-frozen snapshot: pass the CSR from an earlier Freeze of g
-// to skip re-freezing (nil freezes internally). Every metric family
-// checks ctx at its iteration boundaries; the first (lowest family
-// index) cancellation or failure is returned.
+// to skip re-freezing (nil freezes internally). Every metric checks ctx
+// at its iteration boundaries; the first (lowest task index)
+// cancellation or failure is returned.
 func ProfileContext(ctx context.Context, g *graph.Graph, c *graph.CSR, seed int64, workers int) (Profile, error) {
+	vals, err := metricreg.Evaluate(ctx, metricreg.NewSource(g, c), ProfileSet(),
+		metricreg.Options{Workers: workers, Seed: seed})
+	if err != nil {
+		return Profile{}, err
+	}
 	p := Profile{
-		Nodes:     g.NumNodes(),
-		Edges:     g.NumEdges(),
-		MaxDegree: g.MaxDegree(),
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		MaxDegree:      g.MaxDegree(),
+		Resilience:     vals["resilience"].Scalar,
+		Distortion:     vals["distortion"].Scalar,
+		HierarchyDepth: vals["hierarchy-depth"].Scalar,
+		SpectralGap:    vals["spectral-gap"].Scalar,
 	}
-	if c == nil {
-		c = g.Freeze()
-	}
-	connected := g.IsConnected()
-	famErr := make([]error, 5)
-	par.Do(workers,
-		func() {
-			exp, err := expansionCSR(ctx, c, 3, 50, seed, workers)
-			if err != nil {
-				famErr[0] = err
-				return
-			}
-			if len(exp) > 3 {
-				p.ExpansionAt3 = exp[3]
-			}
-		},
-		func() { p.Resilience, famErr[1] = resilienceCSR(ctx, c, 10, 3, seed, workers) },
-		func() { p.Distortion, famErr[2] = distortion(ctx, g, 2000, seed, workers) },
-		func() {
-			if famErr[3] = errs.Ctx(ctx); famErr[3] == nil {
-				p.HierarchyDepth = HierarchyDepth(g, -1)
-			}
-		},
-		func() {
-			if connected {
-				p.SpectralGap, famErr[4] = spectralGapCSR(ctx, c, 150)
-			}
-		},
-	)
-	for _, err := range famErr {
-		if err != nil {
-			return Profile{}, err
-		}
+	if s := vals["expansion"].Series; len(s) > 3 {
+		p.ExpansionAt3 = s[3]
 	}
 	return p, nil
-}
-
-func chooseSources(n, k int, seed int64) []int {
-	if k <= 0 || k >= n {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
-	r := rng.New(seed)
-	return rng.Shuffle(r, n)[:k]
 }

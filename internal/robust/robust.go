@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/graph"
+	"repro/internal/metricreg"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -96,7 +97,40 @@ func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int
 // means GOMAXPROCS. Each trial checks ctx before it starts and the
 // removal-order computation checks it up front, so a canceled context
 // surfaces as an errs.ErrCanceled-wrapping error promptly.
+//
+// It is a thin composition over MetricSweepContext with the registry's
+// "lcc" metric — the robustness sweep is "re-evaluate a metric set
+// under a mask schedule".
 func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strategy, fracs []float64, trials int, seed int64, workers int) ([]SweepPoint, error) {
+	curves, err := MetricSweepContext(ctx, g, c, strat, fracs, trials, seed, workers, []string{"lcc"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(fracs))
+	for i, f := range fracs {
+		out[i] = SweepPoint{FracRemoved: f, LCCFrac: curves[0].Values[i]}
+	}
+	return out, nil
+}
+
+// MetricCurve is one masked metric's sweep output: Values[i] is the
+// metric evaluated after removing the fraction of nodes at the caller's
+// fracs[i] (averaged over trials for random failure).
+type MetricCurve struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// MetricSweepContext generalizes the robustness sweep to any set of
+// masked-capable registry metrics (CapMasked, e.g. "lcc",
+// "mean-degree"): per trial, one node-removal mask is extended through
+// the fractions (smallest first) and every metric's accumulator —
+// built once per trial and reused across the attack steps — re-reads
+// the shared snapshot in place. Trials fan out across the worker pool
+// and are reduced in trial order, so every curve is byte-identical for
+// any level of parallelism. Unknown or non-masked metrics wrap
+// errs.ErrBadParam.
+func MetricSweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strategy, fracs []float64, trials int, seed int64, workers int, metricNames []string) ([]MetricCurve, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errs.BadParamf("robust: empty graph")
@@ -106,15 +140,36 @@ func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strat
 			return nil, errs.BadParamf("robust: removal fraction %v out of [0,1)", f)
 		}
 	}
+	if len(metricNames) == 0 {
+		return nil, errs.BadParamf("robust: empty metric set")
+	}
+	// Resolve the metric set up front; each trial builds its own
+	// accumulators from these factories. A metric that declares
+	// CapMasked but whose accumulator cannot evaluate masked is a
+	// registration bug surfaced as ErrBadParam, not a panic.
+	factories := make([]func() (metricreg.MaskedAccumulator, bool), len(metricNames))
+	for i, name := range metricNames {
+		m, err := metricreg.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if m.Caps()&metricreg.CapMasked == 0 {
+			return nil, errs.BadParamf("robust: metric %q does not support masked evaluation", name)
+		}
+		resolved, err := metricreg.Resolve(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		factories[i] = func() (metricreg.MaskedAccumulator, bool) {
+			acc, ok := m.New(resolved, seed).(metricreg.MaskedAccumulator)
+			return acc, ok
+		}
+	}
 	if strat != RandomFailure {
 		trials = 1
 	}
 	if trials < 1 {
 		trials = 1
-	}
-	out := make([]SweepPoint, len(fracs))
-	for i, f := range fracs {
-		out[i].FracRemoved = f
 	}
 	// Visit fractions in increasing removal-count order so each trial's
 	// mask only ever grows; results land at the caller's original index.
@@ -127,23 +182,36 @@ func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strat
 	if c == nil {
 		c = g.Freeze()
 	}
-	perTrial := make([][]float64, trials)
+	perTrial := make([][][]float64, trials)
 	err := par.ForEachErr(workers, trials, func(trial int) error {
 		if err := errs.Ctx(ctx); err != nil {
 			return fmt.Errorf("robust: sweep trial %d: %w", trial, err)
 		}
 		order := removalOrder(g, strat, rng.Derive(seed, trial))
+		accs := make([]metricreg.MaskedAccumulator, len(factories))
+		for mi, f := range factories {
+			acc, ok := f()
+			if !ok {
+				return errs.BadParamf("robust: metric %q accumulator cannot evaluate masked", metricNames[mi])
+			}
+			accs[mi] = acc
+		}
 		ws := graph.GetWorkspace(n)
 		defer ws.Release()
 		removed := make([]bool, n)
-		vals := make([]float64, len(fracs))
+		vals := make([][]float64, len(accs))
+		for mi := range vals {
+			vals[mi] = make([]float64, len(fracs))
+		}
 		prev := 0
 		for _, i := range byK {
 			k := int(fracs[i] * float64(n))
 			for ; prev < k; prev++ {
 				removed[order[prev]] = true
 			}
-			vals[i] = float64(c.LargestComponentMasked(ws, removed)) / float64(n)
+			for mi, acc := range accs {
+				vals[mi][i] = acc.EvaluateMasked(ws, c, removed)
+			}
 		}
 		perTrial[trial] = vals
 		return nil
@@ -151,13 +219,21 @@ func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strat
 	if err != nil {
 		return nil, err
 	}
+	out := make([]MetricCurve, len(metricNames))
+	for mi, name := range metricNames {
+		out[mi] = MetricCurve{Name: name, Values: make([]float64, len(fracs))}
+	}
 	for _, vals := range perTrial {
-		for i, v := range vals {
-			out[i].LCCFrac += v
+		for mi := range vals {
+			for i, v := range vals[mi] {
+				out[mi].Values[i] += v
+			}
 		}
 	}
-	for i := range out {
-		out[i].LCCFrac /= float64(trials)
+	for mi := range out {
+		for i := range out[mi].Values {
+			out[mi].Values[i] /= float64(trials)
+		}
 	}
 	return out, nil
 }

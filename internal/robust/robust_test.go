@@ -1,10 +1,16 @@
 package robust
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
+	"repro/internal/errs"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/metricreg"
+	"repro/internal/params"
 )
 
 func star(n int) *graph.Graph {
@@ -180,5 +186,118 @@ func TestStrategyStrings(t *testing.T) {
 		if s.String() == "" {
 			t.Fatal("empty strategy string")
 		}
+	}
+}
+
+func TestMetricSweepMultiMetric(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.05, 0.2, 0.4}
+	curves, err := MetricSweepContext(context.Background(), g, nil, DegreeAttack, fracs, 1, 7, 0,
+		[]string{"lcc", "mean-degree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || curves[0].Name != "lcc" || curves[1].Name != "mean-degree" {
+		t.Fatalf("curves = %+v", curves)
+	}
+	for _, c := range curves {
+		if len(c.Values) != len(fracs) {
+			t.Fatalf("%s: %d values for %d fracs", c.Name, len(c.Values), len(fracs))
+		}
+		for i := 1; i < len(c.Values); i++ {
+			if c.Values[i] > c.Values[i-1] {
+				t.Fatalf("%s not non-increasing under degree attack: %v", c.Name, c.Values)
+			}
+		}
+	}
+}
+
+func TestMetricSweepMatchesSweep(t *testing.T) {
+	// Sweep is a thin composition over MetricSweepContext with "lcc";
+	// the two paths must agree exactly.
+	g, err := gen.BarabasiAlbert(120, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.1, 0.3}
+	pts, err := Sweep(g, RandomFailure, fracs, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := MetricSweepContext(context.Background(), g, nil, RandomFailure, fracs, 3, 11, 0, []string{"lcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fracs {
+		if pts[i].LCCFrac != curves[0].Values[i] {
+			t.Fatalf("frac %v: Sweep %v != MetricSweep %v", fracs[i], pts[i].LCCFrac, curves[0].Values[i])
+		}
+	}
+}
+
+func TestMetricSweepRejections(t *testing.T) {
+	g := star(10)
+	cases := []struct {
+		name    string
+		metrics []string
+	}{
+		{"unknown metric", []string{"nope"}},
+		{"non-masked metric", []string{"clustering"}},
+		{"empty set", nil},
+	}
+	for _, tc := range cases {
+		_, err := MetricSweepContext(context.Background(), g, nil, RandomFailure, []float64{0.1}, 1, 1, 0, tc.metrics)
+		if !errors.Is(err, errs.ErrBadParam) {
+			t.Errorf("%s: got %v, want ErrBadParam", tc.name, err)
+		}
+	}
+}
+
+func TestMetricSweepWorkerDeterminism(t *testing.T) {
+	g, err := gen.BarabasiAlbert(140, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.05, 0.15, 0.35}
+	one, err := MetricSweepContext(context.Background(), g, nil, RandomFailure, fracs, 6, 3, 1,
+		[]string{"lcc", "mean-degree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MetricSweepContext(context.Background(), g, nil, RandomFailure, fracs, 6, 3, 8,
+		[]string{"lcc", "mean-degree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("workers=1 vs 8 diverged:\n%v\nvs\n%v", one, eight)
+	}
+}
+
+// inertAcc implements only the bulk role — a metric registering it
+// while declaring CapMasked is misregistered, and MetricSweepContext
+// must reject it rather than panic.
+type inertAcc struct{}
+
+func (inertAcc) Finalize() metricreg.Value                                         { return metricreg.Value{} }
+func (inertAcc) Run(ctx context.Context, src *metricreg.Source, workers int) error { return nil }
+
+func TestMetricSweepRejectsMisregisteredMaskedMetric(t *testing.T) {
+	err := metricreg.Register(&metricreg.FuncMetric{
+		MetricName: "test-bad-masked",
+		MetricCaps: metricreg.CapMasked,
+		NewFn:      func(params.Params, int64) metricreg.Accumulator { return inertAcc{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := star(12)
+	_, err = MetricSweepContext(context.Background(), g, nil, RandomFailure, []float64{0.1}, 2, 1, 0,
+		[]string{"test-bad-masked"})
+	if !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("misregistered masked metric gave %v, want ErrBadParam", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/graph"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -84,7 +85,7 @@ func (e *Engine) snapshot(ctx context.Context, gen Generator, resolved Params, s
 		e.cache[key] = ent
 		e.mu.Unlock()
 
-		p := resolved.clone()
+		p := resolved.Clone()
 		p["seed"] = float64(seed)
 		g, err := gen.Generate(ctx, p)
 		if err != nil {
@@ -179,7 +180,7 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 	rr := RepResult{Seed: seed, Nodes: g.NumNodes(), Edges: g.NumEdges()}
 
 	if m := sc.Measure; m != nil {
-		if m.Profile || !m.Degrees {
+		if m.wantProfile() {
 			prof, err := metrics.ProfileContext(ctx, g, c, seed, 1)
 			if err != nil {
 				return RepResult{}, err
@@ -196,6 +197,14 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 				MaxDegree:  ds.MaxDegree,
 				Tail:       ds.Classification.Kind.String(),
 			}
+		}
+		if len(m.Metrics) > 0 {
+			vals, err := metricreg.Default().Evaluate(ctx, metricreg.NewSource(g, c), m.Metrics,
+				metricreg.Options{Workers: 1, Seed: seed})
+			if err != nil {
+				return RepResult{}, err
+			}
+			rr.Metrics = vals
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,9 +26,12 @@ func testScenarios() []Scenario {
 		{
 			Name:     "waxman-routed",
 			Generate: GenerateSpec{Model: "waxman", Params: Params{"n": 70, "alpha": 0.15, "beta": 0.6}},
-			Measure:  &MeasureSpec{Degrees: true},
-			Route:    &RouteSpec{Demands: 40, Mode: "maxmin"},
-			Reps:     3,
+			Measure: &MeasureSpec{Degrees: true, Metrics: []MetricSelection{
+				{Name: "clustering"},
+				{Name: "expansion", Params: Params{"maxh": 2, "sources": 20}},
+			}},
+			Route: &RouteSpec{Demands: 40, Mode: "maxmin"},
+			Reps:  3,
 		},
 		{
 			Name:     "ba-attacked",
@@ -169,11 +173,51 @@ func TestRunBatchRejectsBadSpecs(t *testing.T) {
 		{Generate: GenerateSpec{Model: "fkp"}, Route: &RouteSpec{Demands: 5, Mode: "teleport"}},
 		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Strategy: "nuclear"}},
 		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Fracs: []float64{1.5}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{{Name: "nope"}}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{
+			{Name: "clustering"}, {Name: "clustering"}}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{
+			{Name: "expansion", Params: Params{"maxh": -1}}}}},
 	}
 	for i, sc := range cases {
 		_, err := NewEngine(nil).RunBatch(context.Background(), []Scenario{sc}, Options{})
 		if !errors.Is(err, errs.ErrBadParam) {
 			t.Errorf("case %d gave %v, want ErrBadParam", i, err)
+		}
+	}
+}
+
+// TestMeasureMetricSet runs a named metric set through the Measure
+// stage and checks the values land in replication output and the
+// formatted table, in selection order.
+func TestMeasureMetricSet(t *testing.T) {
+	sc := Scenario{
+		Name:     "metric-set",
+		Generate: GenerateSpec{Model: "ba", Params: Params{"n": 120, "m": 2}},
+		Measure: &MeasureSpec{Metrics: []MetricSelection{
+			{Name: "mean-degree"},
+			{Name: "diameter"},
+			{Name: "lcc"},
+		}},
+	}
+	res, err := NewEngine(nil).Run(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Reps[0]
+	if rep.Profile != nil {
+		t.Fatal("metric-set measure should not imply the default profile")
+	}
+	if len(rep.Metrics) != 3 {
+		t.Fatalf("got %d metric values: %v", len(rep.Metrics), rep.Metrics)
+	}
+	if rep.Metrics["lcc"].Scalar <= 0 || rep.Metrics["mean-degree"].Scalar <= 0 {
+		t.Fatalf("implausible metric values: %v", rep.Metrics)
+	}
+	out := res.Format()
+	for _, col := range []string{"mean-degree", "diameter", "lcc"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("formatted table missing column %q:\n%s", col, out)
 		}
 	}
 }

@@ -23,78 +23,34 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/errs"
 	"repro/internal/graph"
+	"repro/internal/params"
 )
 
-// ParamKind is the declared type of one generator parameter.
-type ParamKind string
+// ParamKind is the declared type of one generator parameter (the shared
+// internal/params machinery, also under the metric registry).
+type ParamKind = params.Kind
 
 // Parameter kinds. Values travel as JSON numbers (float64); Int-kind
 // parameters additionally require an integral value.
 const (
-	Int   ParamKind = "int"
-	Float ParamKind = "float"
+	Int   = params.Int
+	Float = params.Float
 )
 
 // ParamSpec declares one named generator parameter: its kind, default,
 // and optional closed bounds. Specs are JSON-serializable so tooling can
 // enumerate a generator's interface.
-type ParamSpec struct {
-	Name    string    `json:"name"`
-	Kind    ParamKind `json:"kind"`
-	Default float64   `json:"default"`
-	// Min/Max bound the accepted value when non-nil.
-	Min  *float64 `json:"min,omitempty"`
-	Max  *float64 `json:"max,omitempty"`
-	Help string   `json:"help,omitempty"`
-}
-
-func (s *ParamSpec) check(v float64) error {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return errs.BadParamf("scenario: parameter %q = %v", s.Name, v)
-	}
-	if s.Kind == Int && v != math.Trunc(v) {
-		return errs.BadParamf("scenario: parameter %q = %v, want an integer", s.Name, v)
-	}
-	if s.Min != nil && v < *s.Min {
-		return errs.BadParamf("scenario: parameter %q = %v below minimum %v", s.Name, v, *s.Min)
-	}
-	if s.Max != nil && v > *s.Max {
-		return errs.BadParamf("scenario: parameter %q = %v above maximum %v", s.Name, v, *s.Max)
-	}
-	return nil
-}
+type ParamSpec = params.Spec
 
 // Params carries generator arguments by name. Values are float64 — the
 // JSON number type — so a Params map round-trips through JSON verbatim;
 // Int-kind parameters are validated to hold integral values.
-type Params map[string]float64
-
-// Int reads a parameter as an int (the value is validated integral
-// before a generator sees it).
-func (p Params) Int(name string) int { return int(p[name]) }
-
-// Float reads a parameter as a float64.
-func (p Params) Float(name string) float64 { return p[name] }
-
-// Seed reads the conventional "seed" parameter every registered
-// generator declares.
-func (p Params) Seed() int64 { return int64(p["seed"]) }
-
-// clone returns an independent copy of p (nil stays usable: the copy is
-// an empty, writable map).
-func (p Params) clone() Params {
-	out := make(Params, len(p)+1)
-	for k, v := range p {
-		out[k] = v
-	}
-	return out
-}
+type Params = params.Params
 
 // Generator is one registered topology model: a name, a typed parameter
 // interface, and a context-aware generation function.
@@ -117,41 +73,7 @@ type Generator interface {
 // names, non-integral Int values and out-of-bounds values are rejected
 // with errs.ErrBadParam-wrapping errors.
 func Resolve(g Generator, p Params) (Params, error) {
-	specs := g.Params()
-	byName := make(map[string]*ParamSpec, len(specs))
-	out := make(Params, len(specs))
-	for i := range specs {
-		byName[specs[i].Name] = &specs[i]
-		out[specs[i].Name] = specs[i].Default
-	}
-	for name, v := range p {
-		spec, ok := byName[name]
-		if !ok {
-			return nil, errs.BadParamf("scenario: generator %q has no parameter %q (have %s)",
-				g.Name(), name, paramNames(specs))
-		}
-		if err := spec.check(v); err != nil {
-			return nil, fmt.Errorf("scenario: generator %q: %w", g.Name(), err)
-		}
-		out[name] = v
-	}
-	return out, nil
-}
-
-func paramNames(specs []ParamSpec) string {
-	names := make([]string, len(specs))
-	for i, s := range specs {
-		names[i] = s.Name
-	}
-	sort.Strings(names)
-	out := ""
-	for i, n := range names {
-		if i > 0 {
-			out += ", "
-		}
-		out += n
-	}
-	return out
+	return params.Resolve(fmt.Sprintf("scenario: generator %q", g.Name()), g.Params(), p)
 }
 
 // Registry maps generator names to Generators. The zero value is ready

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/errs"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/robust"
@@ -19,6 +20,10 @@ type GenerateSpec struct {
 	Params Params `json:"params,omitempty"`
 }
 
+// MetricSelection names one registry metric with optional parameters
+// (internal/metricreg).
+type MetricSelection = metricreg.Selection
+
 // MeasureSpec selects measurement families. An empty spec ({}) measures
 // the full profile.
 type MeasureSpec struct {
@@ -28,6 +33,17 @@ type MeasureSpec struct {
 	// Degrees computes degree statistics and the power-law vs
 	// exponential tail classification.
 	Degrees bool `json:"degrees,omitempty"`
+	// Metrics names an arbitrary metric set from the metric registry
+	// (with optional per-metric params), evaluated as one fused
+	// schedule on the shared frozen snapshot. Run `topostats -list`
+	// for the available names.
+	Metrics []MetricSelection `json:"metrics,omitempty"`
+}
+
+// wantProfile reports whether the spec implies the default profile
+// family: asked for explicitly, or nothing else selected.
+func (m *MeasureSpec) wantProfile() bool {
+	return m.Profile || (!m.Degrees && len(m.Metrics) == 0)
 }
 
 // RouteSpec evaluates the topology under a random traffic matrix.
@@ -133,6 +149,22 @@ func (s *Scenario) prepare(reg *Registry) (Generator, Params, error) {
 }
 
 func (s *Scenario) checkStages() error {
+	if m := s.Measure; m != nil && len(m.Metrics) > 0 {
+		seen := map[string]bool{}
+		for _, sel := range m.Metrics {
+			mt, err := metricreg.Lookup(sel.Name)
+			if err != nil {
+				return err
+			}
+			if seen[sel.Name] {
+				return errs.BadParamf("scenario %q: duplicate metric %q", s.describe(), sel.Name)
+			}
+			seen[sel.Name] = true
+			if _, err := metricreg.Resolve(mt, sel.Params); err != nil {
+				return err
+			}
+		}
+	}
 	if s.Route != nil {
 		if s.Route.Demands < 1 {
 			return errs.BadParamf("scenario %q: route stage needs demands >= 1", s.describe())
@@ -251,13 +283,14 @@ type RouteSummary struct {
 
 // RepResult is one replication's output.
 type RepResult struct {
-	Seed    int64               `json:"seed"`
-	Nodes   int                 `json:"nodes"`
-	Edges   int                 `json:"edges"`
-	Profile *metrics.Profile    `json:"profile,omitempty"`
-	Degrees *DegreeSummary      `json:"degrees,omitempty"`
-	Route   *RouteSummary       `json:"route,omitempty"`
-	Attack  []robust.SweepPoint `json:"attack,omitempty"`
+	Seed    int64                      `json:"seed"`
+	Nodes   int                        `json:"nodes"`
+	Edges   int                        `json:"edges"`
+	Profile *metrics.Profile           `json:"profile,omitempty"`
+	Degrees *DegreeSummary             `json:"degrees,omitempty"`
+	Metrics map[string]metricreg.Value `json:"metrics,omitempty"`
+	Route   *RouteSummary              `json:"route,omitempty"`
+	Attack  []robust.SweepPoint        `json:"attack,omitempty"`
 }
 
 // Result is one scenario's full output: a RepResult per replication, in
@@ -276,11 +309,14 @@ func (r *Result) Format() string {
 	header := []string{"rep", "seed", "nodes", "edges"}
 	if r.Scenario.Measure != nil {
 		m := r.Scenario.Measure
-		if m.Profile || !m.Degrees {
+		if m.wantProfile() {
 			header = append(header, "exp@3", "resil", "distort", "hier", "gap")
 		}
 		if m.Degrees {
 			header = append(header, "meandeg", "maxdeg", "tail")
+		}
+		for _, sel := range m.Metrics {
+			header = append(header, sel.Name)
 		}
 	}
 	if r.Scenario.Route != nil {
@@ -306,6 +342,11 @@ func (r *Result) Format() string {
 		if rep.Degrees != nil {
 			row = append(row, f4(rep.Degrees.MeanDegree),
 				strconv.Itoa(rep.Degrees.MaxDegree), rep.Degrees.Tail)
+		}
+		if r.Scenario.Measure != nil {
+			for _, sel := range r.Scenario.Measure.Metrics {
+				row = append(row, f4(rep.Metrics[sel.Name].Scalar))
+			}
 		}
 		if rep.Route != nil {
 			row = append(row, rep.Route.Mode,

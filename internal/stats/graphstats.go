@@ -1,9 +1,8 @@
 package stats
 
 import (
-	"math"
-
 	"repro/internal/graph"
+	"repro/internal/metricreg"
 )
 
 // ClusteringCoefficient returns the average local clustering coefficient:
@@ -11,77 +10,20 @@ import (
 // themselves adjacent, averaged over such nodes. Returns 0 when no node
 // has degree >= 2. Parallel edges are collapsed for the purpose of
 // counting distinct neighbours.
+//
+// Thin composition over the metric registry: the implementation is the
+// registered "clustering" metric (internal/metricreg), so scenario
+// metric sets and this free function share one code path.
 func ClusteringCoefficient(g *graph.Graph) float64 {
-	n := g.NumNodes()
-	if n == 0 {
-		return 0
-	}
-	// Build deduplicated neighbour sets once.
-	nbrs := make([]map[int]bool, n)
-	for u := 0; u < n; u++ {
-		set := make(map[int]bool)
-		g.Neighbors(u, func(v, _ int) {
-			set[v] = true
-		})
-		nbrs[u] = set
-	}
-	total := 0.0
-	counted := 0
-	for u := 0; u < n; u++ {
-		deg := len(nbrs[u])
-		if deg < 2 {
-			continue
-		}
-		links := 0
-		// Count edges among neighbours.
-		neighbors := make([]int, 0, deg)
-		for v := range nbrs[u] {
-			neighbors = append(neighbors, v)
-		}
-		for i := 0; i < len(neighbors); i++ {
-			for j := i + 1; j < len(neighbors); j++ {
-				if nbrs[neighbors[i]][neighbors[j]] {
-					links++
-				}
-			}
-		}
-		total += 2 * float64(links) / (float64(deg) * float64(deg-1))
-		counted++
-	}
-	if counted == 0 {
-		return 0
-	}
-	return total / float64(counted)
+	return metricreg.Scalar("clustering", g)
 }
 
 // DegreeAssortativity returns the Pearson correlation of degrees at edge
 // endpoints (Newman's r). Returns 0 for graphs where it is undefined
-// (fewer than 2 edges or zero variance).
+// (fewer than 2 edges or zero variance). It is the registered
+// "assortativity" metric of internal/metricreg.
 func DegreeAssortativity(g *graph.Graph) float64 {
-	m := g.NumEdges()
-	if m < 2 {
-		return 0
-	}
-	deg := g.Degrees()
-	var sumXY, sumX, sumY, sumX2, sumY2 float64
-	for _, e := range g.Edges() {
-		// Each undirected edge contributes both orientations so the
-		// statistic is symmetric.
-		x, y := float64(deg[e.U]), float64(deg[e.V])
-		sumXY += 2 * x * y
-		sumX += x + y
-		sumY += x + y
-		sumX2 += x*x + y*y
-		sumY2 += x*x + y*y
-	}
-	n := float64(2 * m)
-	cov := sumXY/n - (sumX/n)*(sumY/n)
-	varX := sumX2/n - (sumX/n)*(sumX/n)
-	varY := sumY2/n - (sumY/n)*(sumY/n)
-	if varX <= 0 || varY <= 0 {
-		return 0
-	}
-	return cov / math.Sqrt(varX*varY)
+	return metricreg.Scalar("assortativity", g)
 }
 
 // GraphDegreeStats bundles the degree-tail characterization of a graph.

@@ -7,12 +7,15 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
+	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -54,7 +57,33 @@ func (v MetricVector) Values() []float64 {
 
 // Measure computes the metric vector of a topology.
 func Measure(g *graph.Graph, seed int64) MetricVector {
-	prof := metrics.ComputeProfile(g, seed)
+	v, _ := measure(context.Background(), g, seed)
+	return v
+}
+
+// MeasureContext is Measure with validation and cancellation: a nil or
+// empty topology wraps errs.ErrBadParam, and a canceled context
+// surfaces as an errs.ErrCanceled-wrapping error from the underlying
+// metric evaluation.
+func MeasureContext(ctx context.Context, g *graph.Graph, seed int64) (MetricVector, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return MetricVector{}, errs.BadParamf("validate: empty topology")
+	}
+	return measure(ctx, g, seed)
+}
+
+func measure(ctx context.Context, g *graph.Graph, seed int64) (MetricVector, error) {
+	// One fused registry evaluation: the profile battery plus the
+	// clustering/assortativity statistics share a single Source (one
+	// freeze) and one parallel schedule.
+	set := append(metrics.ProfileSet(),
+		metricreg.Selection{Name: "clustering"},
+		metricreg.Selection{Name: "assortativity"})
+	vals, err := metricreg.Evaluate(ctx, metricreg.NewSource(g, nil), set,
+		metricreg.Options{Seed: seed})
+	if err != nil {
+		return MetricVector{}, err
+	}
 	deg := g.Degrees()
 	fdeg := make([]float64, len(deg))
 	for i, d := range deg {
@@ -66,18 +95,21 @@ func Measure(g *graph.Graph, seed int64) MetricVector {
 		cv = math.Sqrt(sum.Variance) / sum.Mean
 	}
 	ds := stats.AnalyzeDegrees(g)
-	return MetricVector{
+	out := MetricVector{
 		MeanDegree:    ds.MeanDegree,
 		DegreeCV:      cv,
 		TopDegreeFrac: ds.TopDegreeFrac,
-		Clustering:    stats.ClusteringCoefficient(g),
-		Assortativity: stats.DegreeAssortativity(g),
-		ExpansionAt3:  prof.ExpansionAt3,
-		Resilience:    prof.Resilience,
-		Distortion:    prof.Distortion,
-		HierDepth:     prof.HierarchyDepth,
-		SpectralGap:   prof.SpectralGap,
+		Clustering:    vals["clustering"].Scalar,
+		Assortativity: vals["assortativity"].Scalar,
+		Resilience:    vals["resilience"].Scalar,
+		Distortion:    vals["distortion"].Scalar,
+		HierDepth:     vals["hierarchy-depth"].Scalar,
+		SpectralGap:   vals["spectral-gap"].Scalar,
 	}
+	if s := vals["expansion"].Series; len(s) > 3 {
+		out.ExpansionAt3 = s[3]
+	}
+	return out, nil
 }
 
 // Comparison is the outcome of comparing a candidate against a
@@ -97,8 +129,26 @@ type Comparison struct {
 
 // Compare measures both graphs and scores their dissimilarity.
 func Compare(ref, cand *graph.Graph, seed int64) Comparison {
-	rv := Measure(ref, seed)
-	cv := Measure(cand, seed)
+	c, _ := compare(Measure(ref, seed), Measure(cand, seed), ref, cand)
+	return c
+}
+
+// CompareContext is Compare with validation and cancellation: either
+// topology nil or empty wraps errs.ErrBadParam; a canceled context
+// surfaces as errs.ErrCanceled.
+func CompareContext(ctx context.Context, ref, cand *graph.Graph, seed int64) (Comparison, error) {
+	rv, err := MeasureContext(ctx, ref, seed)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("validate: reference: %w", err)
+	}
+	cv, err := MeasureContext(ctx, cand, seed)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("validate: candidate: %w", err)
+	}
+	return compare(rv, cv, ref, cand)
+}
+
+func compare(rv, cv MetricVector, ref, cand *graph.Graph) (Comparison, error) {
 	const eps = 1e-6
 	rvs, cvs := rv.Values(), cv.Values()
 	out := Comparison{Reference: rv, Candidate: cv, RelDiff: make([]float64, len(rvs))}
@@ -113,7 +163,7 @@ func Compare(ref, cand *graph.Graph, seed int64) Comparison {
 	}
 	out.Distance = total / float64(len(rvs))
 	out.DegreeKS = DegreeKS(ref.Degrees(), cand.Degrees())
-	return out
+	return out, nil
 }
 
 // Format renders a comparison as an aligned table.

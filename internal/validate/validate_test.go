@@ -1,10 +1,13 @@
 package validate
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/errs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -117,5 +120,57 @@ func TestBootstrapDegenerateParams(t *testing.T) {
 	iv := BootstrapMetric(g, func(_ *graph.Graph, _ int64) float64 { return 0.5 }, 1, 2.0, 1)
 	if iv.Mean != 0.5 || iv.Low != 0.5 || iv.High != 0.5 {
 		t.Fatalf("constant metric CI = %+v", iv)
+	}
+}
+
+func TestMeasureContextRejectsEmptyTopology(t *testing.T) {
+	if _, err := MeasureContext(context.Background(), nil, 1); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("nil graph gave %v, want ErrBadParam", err)
+	}
+	if _, err := MeasureContext(context.Background(), graph.New(0), 1); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("empty graph gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestMeasureContextCancellation(t *testing.T) {
+	g := ba(t, 200, 2, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasureContext(ctx, g, 1); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("canceled measure gave %v, want ErrCanceled", err)
+	}
+}
+
+func TestCompareContextErrorPaths(t *testing.T) {
+	g := ba(t, 100, 2, 10)
+	if _, err := CompareContext(context.Background(), nil, g, 1); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("nil reference gave %v, want ErrBadParam", err)
+	}
+	if _, err := CompareContext(context.Background(), g, graph.New(0), 1); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("empty candidate gave %v, want ErrBadParam", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareContext(ctx, g, g, 1); !errors.Is(err, errs.ErrCanceled) {
+		t.Fatalf("canceled compare gave %v, want ErrCanceled", err)
+	}
+	c, err := CompareContext(context.Background(), g, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Distance > 1e-9 {
+		t.Fatalf("self-comparison distance = %v", c.Distance)
+	}
+}
+
+func TestMeasureContextMatchesMeasure(t *testing.T) {
+	g := ba(t, 150, 2, 12)
+	want := Measure(g, 5)
+	got, err := MeasureContext(context.Background(), g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("MeasureContext diverged from Measure:\n%+v\nvs\n%+v", got, want)
 	}
 }
