@@ -28,6 +28,8 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/attackreg"
+	"repro/internal/metricreg"
 	"repro/internal/scenario"
 )
 
@@ -38,7 +40,7 @@ func main() {
 		format  = flag.String("format", "table", "output format: table|json")
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
 		timeout = flag.Duration("timeout", 0, "abort the batch after this long (0 = no limit)")
-		list    = flag.Bool("list", false, "list registered models with their parameters and exit")
+		list    = flag.Bool("list", false, "list registered models, attacks, and metrics with their parameters and exit")
 	)
 	flag.Parse()
 
@@ -113,6 +115,14 @@ func run(ctx context.Context, spec string, workers int, format, out string, time
 	return nil
 }
 
+// listModels enumerates everything a scenario spec can name: generator
+// models (generate.model), attack strategies (attack.strategy), and
+// registry metrics (measure.metrics).
 func listModels(w io.Writer) {
-	scenario.Default().FormatModels(w, "")
+	fmt.Fprintln(w, "models:")
+	scenario.Default().FormatModels(w, "  ")
+	fmt.Fprintln(w, "attacks:")
+	attackreg.Default().FormatAttacks(w, "  ")
+	fmt.Fprintln(w, "metrics:")
+	metricreg.Default().FormatMetrics(w, "  ")
 }

@@ -22,7 +22,7 @@ func TestRunSmokeSpecTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	for _, want := range []string{"designed-vs-blind", "descriptive-baseline", "waxman-throughput", "lcc@fracs"} {
+	for _, want := range []string{"designed-vs-blind", "descriptive-baseline", "waxman-throughput", "localized-disaster", "lcc@fracs"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
@@ -71,6 +71,20 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run(context.Background(), unknown, 0, "table", "-", 0); !errors.Is(err, errs.ErrBadParam) {
 		t.Fatalf("unknown model gave %v, want ErrBadParam", err)
+	}
+}
+
+func TestListShowsModelsAttacksAndMetrics(t *testing.T) {
+	var b strings.Builder
+	listModels(&b)
+	out := b.String()
+	for _, want := range []string{
+		"models:", "attacks:", "metrics:",
+		"fkp", "geographic", "random-edge", "lcc", "expansion",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
 	}
 }
 

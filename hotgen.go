@@ -17,8 +17,14 @@
 // by name in a metric registry with typed parameters, and named metric
 // sets are evaluated as one fused schedule over a shared frozen
 // snapshot — see Metric, MetricSelection, EvaluateMetrics, and
-// `topostats -list`. The free functions below remain as direct, stable
-// wrappers over the same internals.
+// `topostats -list`. Attacks mirror both: every failure/attack strategy
+// (node- or edge-removal, deterministic or randomized) is registered by
+// name with typed parameters, and the robustness sweep engine traces
+// metric curves along each schedule — via masked re-evaluation or a
+// reverse union-find incremental path that computes whole LCC
+// trajectories in near-linear time — see Attack, RunRobustnessSweep,
+// and `topoattack -list`. The free functions below remain as direct,
+// stable wrappers over the same internals.
 //
 // The library is organized as the paper is:
 //
@@ -53,6 +59,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/anonymize"
+	"repro/internal/attackreg"
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/experiments"
@@ -506,7 +513,8 @@ type (
 	Demand = routing.Demand
 	// RouteResult reports a routing evaluation.
 	RouteResult = routing.Result
-	// AttackStrategy orders node removals.
+	// AttackStrategy orders node removals (the four original attacks;
+	// the attack registry below generalizes it).
 	AttackStrategy = robust.Strategy
 )
 
@@ -517,6 +525,86 @@ const (
 	BetweennessAttack    = robust.BetweennessAttack
 	AdaptiveDegreeAttack = robust.AdaptiveDegreeAttack
 )
+
+// Attack registry: the failure/attack mirror of the generator and
+// metric registries. Every node- or edge-removal strategy is registered
+// by name with typed parameters, and the sweep engine traces metric
+// curves along each schedule — via masked re-evaluation or the reverse
+// union-find incremental path (bit-for-bit identical, near-linear in
+// the whole schedule).
+type (
+	// Attack is one registered removal strategy: name, typed parameter
+	// specs, a node/edge target, and a schedule function.
+	Attack = attackreg.Attack
+	// FuncAttack adapts specs plus a schedule function into an Attack.
+	FuncAttack = attackreg.FuncAttack
+	// AttackRegistry maps attack names to Attacks.
+	AttackRegistry = attackreg.Registry
+	// AttackSelection names one attack with optional params.
+	AttackSelection = attackreg.Selection
+	// AttackParams carries attack arguments by name (JSON numbers).
+	AttackParams = attackreg.Params
+	// AttackTarget reports whether schedules index nodes or edges.
+	AttackTarget = attackreg.Target
+	// AttackCaps declares schedule properties (randomized, adaptive).
+	AttackCaps = attackreg.Caps
+	// RobustnessSweepSpec declares one registry-driven robustness sweep.
+	RobustnessSweepSpec = robust.SweepSpec
+	// RobustnessMode selects the sweep evaluation path (auto, masked,
+	// incremental).
+	RobustnessMode = robust.Mode
+)
+
+// Attack targets and capability flags.
+const (
+	// AttackNodes marks node-removal schedules.
+	AttackNodes = attackreg.Nodes
+	// AttackEdges marks edge-removal schedules.
+	AttackEdges = attackreg.Edges
+	// AttackCapRandomized marks seed-dependent schedules (averaged over
+	// sweep trials).
+	AttackCapRandomized = attackreg.CapRandomized
+	// AttackCapAdaptive marks attacks that re-score the residual graph.
+	AttackCapAdaptive = attackreg.CapAdaptive
+)
+
+// Sweep evaluation modes.
+const (
+	// SweepAuto picks the incremental path for plain LCC curves and the
+	// masked path otherwise.
+	SweepAuto = robust.ModeAuto
+	// SweepMasked re-evaluates masked accumulators at every fraction.
+	SweepMasked = robust.ModeMasked
+	// SweepIncremental replays the schedule backwards through a reverse
+	// union-find (LCC only).
+	SweepIncremental = robust.ModeIncremental
+)
+
+// AttackNames lists every registered attack name, sorted.
+func AttackNames() []string { return attackreg.Names() }
+
+// RegisterAttack adds a custom attack to the default registry.
+func RegisterAttack(a Attack) error { return attackreg.Register(a) }
+
+// LookupAttack resolves an attack name (legacy aliases included) in the
+// default registry.
+func LookupAttack(name string) (Attack, error) { return attackreg.Lookup(name) }
+
+// RunRobustnessSweep executes one registry-driven sweep spec: the named
+// attack's schedule is computed per trial and the metric set traced
+// along it, with curves byte-identical for any worker count and either
+// evaluation path. Pass a pre-frozen CSR to skip re-freezing (nil
+// freezes internally).
+func RunRobustnessSweep(ctx context.Context, g *Graph, c *CSR, spec RobustnessSweepSpec, seed int64) ([]RobustnessMetricCurve, error) {
+	return robust.RunSweepContext(ctx, g, c, spec, seed)
+}
+
+// RobustnessAttackGap summarizes robust-yet-fragile for any registered
+// attack: the mean gap between the random-failure curve and the named
+// attack's curve over the given fractions.
+func RobustnessAttackGap(ctx context.Context, g *Graph, c *CSR, attack string, p AttackParams, fracs []float64, trials int, seed int64, workers int) (float64, error) {
+	return robust.AttackGapContext(ctx, g, c, attack, p, fracs, trials, seed, workers)
+}
 
 // ComputeProfile evaluates the full [30]-style metric suite.
 func ComputeProfile(g *Graph, seed int64) Profile { return metrics.ComputeProfile(g, seed) }

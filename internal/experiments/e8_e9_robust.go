@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/access"
+	"repro/internal/attackreg"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -21,10 +22,10 @@ func E8Robustness(opts Options) (*Table, error) {
 	fracs := []float64{0.01, 0.05, 0.1, 0.2}
 	t := &Table{
 		ID:    "E8",
-		Title: fmt.Sprintf("Failure vs attack sweeps, n=%d, removal fractions %v", n, fracs),
+		Title: fmt.Sprintf("Failure vs attack sweeps (attack registry: %v), n=%d, removal fractions %v", attackreg.Names(), n, fracs),
 		Claim: "HOT systems show \"apparently simple and robust external behavior, with the risk of ... potentially catastrophic cascading failures initiated by possibly quite small perturbations\" (§3.1)",
 		Header: []string{
-			"topology", "LCC@5%fail", "LCC@5%attack", "attackGap", "criticalFrac(attack)",
+			"topology", "LCC@5%fail", "LCC@5%attack", "LCC@5%geo", "attackGap", "criticalFrac(attack)",
 		},
 	}
 	type entry struct {
@@ -59,22 +60,40 @@ func E8Robustness(opts Options) (*Table, error) {
 	}
 	entries = append(entries, entry{"er(same density)", er})
 
-	// Sweep the four topologies concurrently; each sweep additionally
-	// parallelizes its random-failure trials internally.
+	// Sweep the four topologies concurrently through the attack
+	// registry, one frozen snapshot per topology shared by every named
+	// attack; each sweep additionally parallelizes its randomized trials
+	// internally (and the LCC curves ride the incremental union-find
+	// path).
+	ctx := opts.ctx()
 	type sweeps struct {
-		fail, atk, gap, crit float64
+		fail, atk, geo, gap, crit float64
 	}
 	rows, err := mapUnits(opts, len(entries), func(i int) (sweeps, error) {
 		g := entries[i].g
-		fail, err := robust.Sweep(g, robust.RandomFailure, []float64{0.05}, trials, opts.Seed)
+		c := g.Freeze()
+		at5 := func(attack string, p attackreg.Params, tr int) (float64, error) {
+			curves, err := robust.RunSweepContext(ctx, g, c, robust.SweepSpec{
+				Attack: attack, Params: p, Fracs: []float64{0.05}, Trials: tr, Workers: opts.Workers,
+			}, opts.Seed)
+			if err != nil {
+				return 0, err
+			}
+			return curves[0].Values[0], nil
+		}
+		fail, err := at5("random-failure", nil, trials)
 		if err != nil {
 			return sweeps{}, err
 		}
-		atk, err := robust.Sweep(g, robust.DegreeAttack, []float64{0.05}, 1, opts.Seed)
+		atk, err := at5("degree", nil, 1)
 		if err != nil {
 			return sweeps{}, err
 		}
-		gap, err := robust.AttackGap(g, robust.DegreeAttack, fracs, trials, opts.Seed)
+		geo, err := at5("geographic", attackreg.Params{"x": 0.5, "y": 0.5}, 1)
+		if err != nil {
+			return sweeps{}, err
+		}
+		gap, err := robust.AttackGapContext(ctx, g, c, "degree", nil, fracs, trials, opts.Seed, opts.Workers)
 		if err != nil {
 			return sweeps{}, err
 		}
@@ -82,16 +101,17 @@ func E8Robustness(opts Options) (*Table, error) {
 		if err != nil {
 			return sweeps{}, err
 		}
-		return sweeps{fail: fail[0].LCCFrac, atk: atk[0].LCCFrac, gap: gap, crit: crit}, nil
+		return sweeps{fail: fail, atk: atk, geo: geo, gap: gap, crit: crit}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, e := range entries {
-		t.AddRow(e.name, f3(rows[i].fail), f3(rows[i].atk), f3(rows[i].gap), f3(rows[i].crit))
+		t.AddRow(e.name, f3(rows[i].fail), f3(rows[i].atk), f3(rows[i].geo), f3(rows[i].gap), f3(rows[i].crit))
 	}
 	t.Notes = append(t.Notes,
 		"attackGap: mean over fractions of LCC(random failure) - LCC(degree attack); larger = more hub-fragile",
+		"LCC@5%geo: localized (geographic) failure at the map center — between random failure and hub targeting",
 		"trees fragment under any removal; the HOT signature is the spread between the failure and attack columns")
 	return t, nil
 }

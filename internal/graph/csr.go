@@ -203,6 +203,47 @@ func (c *CSR) LargestComponentMasked(ws *Workspace, removed []bool) int {
 	return best
 }
 
+// LargestComponentEdgeMasked returns the size of the largest connected
+// component of the snapshot with edges whose removedEdge[edgeID] is true
+// treated as absent (all nodes stay present). It is the edge-removal
+// analogue of LargestComponentMasked, under edge-targeted robustness
+// sweeps. A removedEdge slice shorter than the edge count treats the
+// missing tail as present.
+func (c *CSR) LargestComponentEdgeMasked(ws *Workspace, removedEdge []bool) int {
+	ws.Reserve(c.n)
+	epoch := ws.nextEpoch()
+	visited := ws.visited
+	best := 0
+	for s := 0; s < c.n; s++ {
+		if visited[s] == epoch {
+			continue
+		}
+		visited[s] = epoch
+		queue := ws.queue[:0]
+		queue = append(queue, int32(s))
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				if e := int(c.edgeID[j]); e < len(removedEdge) && removedEdge[e] {
+					continue
+				}
+				v := c.nbr[j]
+				if visited[v] != epoch {
+					visited[v] = epoch
+					queue = append(queue, v)
+				}
+			}
+		}
+		ws.queue = queue
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
 // boundedIndex reports whether u is a valid node id in the adjacency
 // structure. HasEdge and FindEdge share it so both are safe on
 // out-of-range ids.

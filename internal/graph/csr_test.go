@@ -125,6 +125,41 @@ func TestLargestComponentMaskedMatchesRemoveNodes(t *testing.T) {
 	}
 }
 
+func TestLargestComponentEdgeMaskedMatchesSubgraph(t *testing.T) {
+	g := randomTestGraph(80, 30, 9)
+	c := g.Freeze()
+	ws := NewWorkspace(g.NumNodes())
+	r := rand.New(rand.NewSource(11))
+	removedEdge := make([]bool, g.NumEdges())
+	removedCount := 0
+	// Incrementally remove edges, comparing the edge-masked kernel
+	// against a materialized copy without those edges at each step.
+	for removedCount < g.NumEdges() {
+		e := r.Intn(g.NumEdges())
+		if removedEdge[e] {
+			continue
+		}
+		removedEdge[e] = true
+		removedCount++
+		sub := New(g.NumNodes())
+		for i := 0; i < g.NumNodes(); i++ {
+			sub.AddNode(*g.Node(i))
+		}
+		for i, edge := range g.Edges() {
+			if !removedEdge[i] {
+				sub.AddEdge(edge)
+			}
+		}
+		if got, want := c.LargestComponentEdgeMasked(ws, removedEdge), sub.LargestComponentSize(); got != want {
+			t.Fatalf("after removing %d edges: edge-masked LCC %d vs subgraph LCC %d", removedCount, got, want)
+		}
+	}
+	// A short (or nil) mask treats the tail as present.
+	if got, want := c.LargestComponentEdgeMasked(ws, nil), g.LargestComponentSize(); got != want {
+		t.Fatalf("nil edge mask LCC = %d, want %d", got, want)
+	}
+}
+
 func TestCSREmptyGraph(t *testing.T) {
 	g := New(0)
 	c := g.Freeze()

@@ -1,8 +1,10 @@
 package robust
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/attackreg"
 	"repro/internal/gen"
 )
 
@@ -35,7 +37,14 @@ func TestAdaptiveAttackOrderIsPermutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	order := removalOrder(g.Clone(), AdaptiveDegreeAttack, 1)
+	atk, err := attackreg.Lookup(AdaptiveDegreeAttack.AttackName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := atk.Schedule(context.Background(), g.Clone(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(order) != 100 {
 		t.Fatalf("order length %d", len(order))
 	}

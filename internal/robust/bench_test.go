@@ -1,0 +1,58 @@
+package robust
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The sweep benches pit the two evaluation paths against each other on
+// the same 10k-node schedule at a 2% fraction grid (the resolution a
+// real resilience curve wants): the masked path pays one masked BFS per
+// removal fraction, the incremental path one reverse union-find pass
+// for the whole trajectory regardless of grid density. The acceptance
+// bar for the incremental engine is >= 3x on this workload.
+
+func benchSweepInputs(b *testing.B) (*graph.Graph, *graph.CSR, []float64) {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(10000, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fracs := make([]float64, 50)
+	for i := range fracs {
+		fracs[i] = float64(i) / 50
+	}
+	return g, g.Freeze(), fracs
+}
+
+func benchSweep(b *testing.B, mode Mode) {
+	g, c, fracs := benchSweepInputs(b)
+	spec := SweepSpec{Attack: "degree", Fracs: fracs, Mode: mode, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSweepContext(context.Background(), g, c, spec, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepMasked10k(b *testing.B)      { benchSweep(b, ModeMasked) }
+func BenchmarkSweepIncremental10k(b *testing.B) { benchSweep(b, ModeIncremental) }
+
+// BenchmarkSweepRandomFailure10k measures the default (auto) path under
+// the trial-averaged random-failure sweep the experiments run hottest.
+func BenchmarkSweepRandomFailure10k(b *testing.B) {
+	g, c, fracs := benchSweepInputs(b)
+	spec := SweepSpec{Attack: "random-failure", Fracs: fracs, Trials: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSweepContext(context.Background(), g, c, spec, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

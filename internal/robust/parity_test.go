@@ -1,0 +1,251 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/attackreg"
+	"repro/internal/errs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// parityModels builds the generator-model spread the parity tests pin:
+// a preferential-attachment hub topology, a same-density Erdős–Rényi
+// baseline, and a geometric Waxman graph (disconnected components and
+// coordinate structure), each at two seeds.
+func parityModels(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	for _, seed := range []int64{1, 2} {
+		ba, err := gen.BarabasiAlbert(250, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprintf("ba/seed=%d", seed)] = ba
+		er, err := gen.ErdosRenyiGNM(250, ba.NumEdges(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprintf("er/seed=%d", seed)] = er
+		wx, err := gen.Waxman(250, 0.6, 0.15, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprintf("waxman/seed=%d", seed)] = wx
+	}
+	return out
+}
+
+// TestIncrementalParity is the engine's core contract: for every
+// generator model, seed, and attack — node- and edge-targeted,
+// deterministic and randomized — the reverse union-find trajectory must
+// be bit-for-bit identical to the masked-BFS path, full removal
+// included.
+func TestIncrementalParity(t *testing.T) {
+	fracs := []float64{0, 0.03, 0.1, 0.25, 0.5, 0.8, 1}
+	attacks := []string{
+		"random-failure", "degree", "adaptive-degree", "betweenness",
+		"geographic", "preferential", "random-edge", "bottleneck-edge",
+	}
+	for name, g := range parityModels(t) {
+		c := g.Freeze()
+		for _, attack := range attacks {
+			spec := SweepSpec{Attack: attack, Fracs: fracs, Trials: 3}
+			spec.Mode = ModeMasked
+			masked, err := RunSweepContext(context.Background(), g, c, spec, 11)
+			if err != nil {
+				t.Fatalf("%s/%s masked: %v", name, attack, err)
+			}
+			spec.Mode = ModeIncremental
+			incr, err := RunSweepContext(context.Background(), g, c, spec, 11)
+			if err != nil {
+				t.Fatalf("%s/%s incremental: %v", name, attack, err)
+			}
+			if !reflect.DeepEqual(masked, incr) {
+				t.Fatalf("%s/%s: paths diverged\nmasked:      %v\nincremental: %v",
+					name, attack, masked[0].Values, incr[0].Values)
+			}
+		}
+	}
+}
+
+// TestAutoModeMatchesLegacySweep pins that the default (auto,
+// incremental) SweepContext path reproduces the masked MetricSweep
+// curve exactly — the compatibility guarantee for every caller that
+// upgraded for free.
+func TestAutoModeMatchesLegacySweep(t *testing.T) {
+	g, err := gen.BarabasiAlbert(180, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.05, 0.2, 0.6}
+	pts, err := Sweep(g, RandomFailure, fracs, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := MetricSweepContext(context.Background(), g, nil, RandomFailure, fracs, 4, 5, 0, []string{"lcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fracs {
+		if pts[i].LCCFrac != curves[0].Values[i] {
+			t.Fatalf("frac %v: auto %v != masked %v", fracs[i], pts[i].LCCFrac, curves[0].Values[i])
+		}
+	}
+}
+
+func TestSweepEdgeCasesBothPaths(t *testing.T) {
+	single := graph.New(1)
+	single.AddNode(graph.Node{})
+	pair := graph.New(2)
+	pair.AddNode(graph.Node{})
+	pair.AddNode(graph.Node{})
+	pair.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1})
+
+	for _, mode := range []Mode{ModeMasked, ModeIncremental} {
+		// Empty graph: rejected on both paths.
+		_, err := RunSweepContext(context.Background(), graph.New(0), nil,
+			SweepSpec{Attack: "random-failure", Fracs: []float64{0.1}, Mode: mode}, 1)
+		if !errors.Is(err, errs.ErrBadParam) {
+			t.Fatalf("%v: empty graph gave %v, want ErrBadParam", mode, err)
+		}
+
+		// Single node: frac 0 keeps it (LCC 1), frac 1 removes it (LCC 0).
+		curves, err := RunSweepContext(context.Background(), single, nil,
+			SweepSpec{Attack: "degree", Fracs: []float64{0, 1}, Mode: mode}, 1)
+		if err != nil {
+			t.Fatalf("%v: single node: %v", mode, err)
+		}
+		if got := curves[0].Values; got[0] != 1 || got[1] != 0 {
+			t.Fatalf("%v: single-node curve = %v, want [1 0]", mode, got)
+		}
+
+		// Single node under an edge attack: no edges exist, so every
+		// fraction leaves the intact graph.
+		curves, err = RunSweepContext(context.Background(), single, nil,
+			SweepSpec{Attack: "random-edge", Fracs: []float64{0, 0.5, 1}, Mode: mode}, 1)
+		if err != nil {
+			t.Fatalf("%v: single node edge attack: %v", mode, err)
+		}
+		for i, v := range curves[0].Values {
+			if v != 1 {
+				t.Fatalf("%v: edgeless edge-attack value[%d] = %v, want 1", mode, i, v)
+			}
+		}
+
+		// frac 0 and frac 1 on a 2-node graph, node and edge targets.
+		curves, err = RunSweepContext(context.Background(), pair, nil,
+			SweepSpec{Attack: "random-failure", Fracs: []float64{0, 1}, Trials: 2, Mode: mode}, 3)
+		if err != nil {
+			t.Fatalf("%v: pair: %v", mode, err)
+		}
+		if got := curves[0].Values; got[0] != 1 || got[1] != 0 {
+			t.Fatalf("%v: pair node curve = %v, want [1 0]", mode, got)
+		}
+		curves, err = RunSweepContext(context.Background(), pair, nil,
+			SweepSpec{Attack: "random-edge", Fracs: []float64{0, 1}, Trials: 2, Mode: mode}, 3)
+		if err != nil {
+			t.Fatalf("%v: pair edges: %v", mode, err)
+		}
+		if got := curves[0].Values; got[0] != 1 || got[1] != 0.5 {
+			t.Fatalf("%v: pair edge curve = %v, want [1 0.5]", mode, got)
+		}
+	}
+}
+
+// TestAttackGapBaselineMatchesTarget pins that the gap baseline shares
+// the attack's removal denominator: for the uniform random attack on
+// either target, baseline and attack are the same sweep, so the gap is
+// exactly zero — which fails if an edge attack were compared against
+// node-removal random failure.
+func TestAttackGapBaselineMatchesTarget(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attack := range []string{"random-failure", "random-edge"} {
+		gap, err := AttackGapContext(context.Background(), g, nil, attack, nil,
+			[]float64{0.1, 0.3, 0.6}, 3, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap != 0 {
+			t.Fatalf("%s vs its own baseline: gap = %v, want exactly 0", attack, gap)
+		}
+	}
+	if name := BaselineFor(attackreg.Edges); name != "random-edge" {
+		t.Fatalf("edge baseline = %q", name)
+	}
+}
+
+func TestRunSweepSpecValidation(t *testing.T) {
+	g, err := gen.BarabasiAlbert(30, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec SweepSpec
+	}{
+		{"unknown attack", SweepSpec{Attack: "nope", Fracs: []float64{0.1}}},
+		{"bad attack param", SweepSpec{Attack: "geographic", Params: attackreg.Params{"z": 1}, Fracs: []float64{0.1}}},
+		{"fraction above 1", SweepSpec{Attack: "degree", Fracs: []float64{1.5}}},
+		{"negative fraction", SweepSpec{Attack: "degree", Fracs: []float64{-0.5}}},
+		{"incremental non-lcc", SweepSpec{Attack: "degree", Fracs: []float64{0.1},
+			Metrics: []string{"mean-degree"}, Mode: ModeIncremental}},
+		{"edge attack non-lcc", SweepSpec{Attack: "random-edge", Fracs: []float64{0.1},
+			Metrics: []string{"lcc", "mean-degree"}}},
+		{"unknown metric", SweepSpec{Attack: "degree", Fracs: []float64{0.1},
+			Metrics: []string{"nope"}, Mode: ModeMasked}},
+		{"bad mode", SweepSpec{Attack: "degree", Fracs: []float64{0.1}, Mode: Mode(99)}},
+	}
+	for _, tc := range cases {
+		if _, err := RunSweepContext(context.Background(), g, nil, tc.spec, 1); !errors.Is(err, errs.ErrBadParam) {
+			t.Errorf("%s: got %v, want ErrBadParam", tc.name, err)
+		}
+	}
+}
+
+func TestCheckScheduleRejectsNonPermutations(t *testing.T) {
+	for _, tc := range []struct {
+		order []int
+		total int
+	}{
+		{[]int{0, 1}, 3},
+		{[]int{0, 0, 1}, 3},
+		{[]int{0, 1, 3}, 3},
+		{[]int{0, 1, -1}, 3},
+	} {
+		if err := checkSchedule(tc.order, tc.total, "x"); !errors.Is(err, errs.ErrBadParam) {
+			t.Errorf("checkSchedule(%v, %d) = %v, want ErrBadParam", tc.order, tc.total, err)
+		}
+	}
+	if err := checkSchedule([]int{2, 0, 1}, 3, "x"); err != nil {
+		t.Fatalf("valid permutation rejected: %v", err)
+	}
+}
+
+func TestModeStringAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode Mode
+	}{{"auto", ModeAuto}, {"masked", ModeMasked}, {"incremental", ModeIncremental}} {
+		m, err := ParseMode(tc.name)
+		if err != nil || m != tc.mode {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.name, m, err)
+		}
+		if m.String() != tc.name {
+			t.Fatalf("%v.String() = %q", m, m.String())
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != ModeAuto {
+		t.Fatalf("empty mode = %v, %v", m, err)
+	}
+	if _, err := ParseMode("nope"); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown mode gave %v, want ErrBadParam", err)
+	}
+}

@@ -3,21 +3,29 @@
 // are "robust yet fragile" — they tolerate the random component failures
 // they were implicitly designed around, while targeted removal of their
 // rare, load-bearing hubs causes disproportionate damage.
+//
+// Attacks live in the attack registry (internal/attackreg): every node-
+// or edge-removal strategy is registered by name with typed parameters,
+// mirroring the generator and metric registries. The sweep engine
+// (RunSweepContext) traces a metric set along each attack schedule via
+// one of two bit-for-bit identical evaluation paths: masked-metric
+// re-evaluation (any CapMasked metric set) or the reverse union-find
+// incremental trajectory (LCC only, near-linear in the whole schedule).
+// The Strategy enum below remains as a stable shorthand for the four
+// original attacks.
 package robust
 
 import (
 	"context"
-	"fmt"
-	"sort"
 
+	"repro/internal/attackreg"
 	"repro/internal/errs"
 	"repro/internal/graph"
-	"repro/internal/metricreg"
-	"repro/internal/par"
-	"repro/internal/rng"
 )
 
-// Strategy selects the node-removal order.
+// Strategy selects the node-removal order of the four original attacks;
+// the attack registry generalizes it to arbitrary named attacks with
+// parameters.
 type Strategy int
 
 // Removal strategies.
@@ -50,18 +58,22 @@ func (s Strategy) String() string {
 	}
 }
 
+// AttackName returns the strategy's attack-registry name.
+func (s Strategy) AttackName() string { return attackreg.Canonical(s.String()) }
+
 // ParseStrategy maps a strategy name (as produced by String, with the
 // "-attack"/"-failure" suffix optional) back to its Strategy value,
-// wrapping errs.ErrBadParam for unknown names.
+// wrapping errs.ErrBadParam for unknown names. Registry attacks outside
+// the original four have no Strategy; parse those with attackreg.Lookup.
 func ParseStrategy(name string) (Strategy, error) {
-	switch name {
-	case "", "random", "random-failure":
+	switch attackreg.Canonical(name) {
+	case "random-failure":
 		return RandomFailure, nil
-	case "degree", "degree-attack":
+	case "degree":
 		return DegreeAttack, nil
-	case "betweenness", "betweenness-attack":
+	case "betweenness":
 		return BetweennessAttack, nil
-	case "adaptive-degree", "adaptive-degree-attack":
+	case "adaptive-degree":
 		return AdaptiveDegreeAttack, nil
 	default:
 		return 0, errs.BadParamf("robust: unknown attack strategy %q", name)
@@ -76,17 +88,19 @@ type SweepPoint struct {
 	LCCFrac float64
 }
 
+// MetricCurve is one masked metric's sweep output: Values[i] is the
+// metric evaluated after removing the fraction of nodes (or edges, for
+// edge-targeted attacks) at the caller's fracs[i] (averaged over trials
+// for randomized attacks).
+type MetricCurve struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
 // Sweep removes nodes per the strategy at each fraction in fracs
 // (cumulatively consistent: larger fractions are supersets) and reports
-// the largest-component curve. Random failure averages over trials; the
-// deterministic attacks use a single pass.
-//
-// The graph is frozen into one CSR snapshot; each trial extends a single
-// node-removal mask through the fractions (smallest first) and measures
-// the largest surviving component in place, instead of materializing a
-// RemoveNodes subgraph per point. Trials run in parallel across all
-// available cores and are reduced in trial order, so the curve is
-// byte-identical for any level of parallelism.
+// the largest-component curve. Randomized attacks average over trials;
+// the deterministic attacks use a single pass.
 func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int64) ([]SweepPoint, error) {
 	return SweepContext(context.Background(), g, nil, strat, fracs, trials, seed, 0)
 }
@@ -94,15 +108,19 @@ func Sweep(g *graph.Graph, strat Strategy, fracs []float64, trials int, seed int
 // SweepContext is Sweep with cancellation, an optional pre-frozen
 // snapshot, and an explicit worker bound. Pass the CSR from an earlier
 // Freeze of g to skip re-freezing (nil freezes internally); workers <= 0
-// means GOMAXPROCS. Each trial checks ctx before it starts and the
-// removal-order computation checks it up front, so a canceled context
-// surfaces as an errs.ErrCanceled-wrapping error promptly.
+// means GOMAXPROCS.
 //
-// It is a thin composition over MetricSweepContext with the registry's
-// "lcc" metric — the robustness sweep is "re-evaluate a metric set
-// under a mask schedule".
+// It is a thin composition over the sweep engine (RunSweepContext) in
+// its default ModeAuto — the LCC curve rides the incremental reverse
+// union-find path, bit-for-bit identical to (and much faster than) the
+// masked path.
 func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strategy, fracs []float64, trials int, seed int64, workers int) ([]SweepPoint, error) {
-	curves, err := MetricSweepContext(ctx, g, c, strat, fracs, trials, seed, workers, []string{"lcc"})
+	curves, err := RunSweepContext(ctx, g, c, SweepSpec{
+		Attack:  strat.AttackName(),
+		Fracs:   fracs,
+		Trials:  trials,
+		Workers: workers,
+	}, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -113,14 +131,6 @@ func SweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strat
 	return out, nil
 }
 
-// MetricCurve is one masked metric's sweep output: Values[i] is the
-// metric evaluated after removing the fraction of nodes at the caller's
-// fracs[i] (averaged over trials for random failure).
-type MetricCurve struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
-}
-
 // MetricSweepContext generalizes the robustness sweep to any set of
 // masked-capable registry metrics (CapMasked, e.g. "lcc",
 // "mean-degree"): per trial, one node-removal mask is extended through
@@ -129,166 +139,20 @@ type MetricCurve struct {
 // the shared snapshot in place. Trials fan out across the worker pool
 // and are reduced in trial order, so every curve is byte-identical for
 // any level of parallelism. Unknown or non-masked metrics wrap
-// errs.ErrBadParam.
+// errs.ErrBadParam. This is the engine's masked path; SweepContext
+// takes the incremental path for the plain LCC curve.
 func MetricSweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, strat Strategy, fracs []float64, trials int, seed int64, workers int, metricNames []string) ([]MetricCurve, error) {
-	n := g.NumNodes()
-	if n == 0 {
-		return nil, errs.BadParamf("robust: empty graph")
-	}
-	for _, f := range fracs {
-		if f < 0 || f >= 1 {
-			return nil, errs.BadParamf("robust: removal fraction %v out of [0,1)", f)
-		}
-	}
 	if len(metricNames) == 0 {
 		return nil, errs.BadParamf("robust: empty metric set")
 	}
-	// Resolve the metric set up front; each trial builds its own
-	// accumulators from these factories. A metric that declares
-	// CapMasked but whose accumulator cannot evaluate masked is a
-	// registration bug surfaced as ErrBadParam, not a panic.
-	factories := make([]func() (metricreg.MaskedAccumulator, bool), len(metricNames))
-	for i, name := range metricNames {
-		m, err := metricreg.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		if m.Caps()&metricreg.CapMasked == 0 {
-			return nil, errs.BadParamf("robust: metric %q does not support masked evaluation", name)
-		}
-		resolved, err := metricreg.Resolve(m, nil)
-		if err != nil {
-			return nil, err
-		}
-		factories[i] = func() (metricreg.MaskedAccumulator, bool) {
-			acc, ok := m.New(resolved, seed).(metricreg.MaskedAccumulator)
-			return acc, ok
-		}
-	}
-	if strat != RandomFailure {
-		trials = 1
-	}
-	if trials < 1 {
-		trials = 1
-	}
-	// Visit fractions in increasing removal-count order so each trial's
-	// mask only ever grows; results land at the caller's original index.
-	byK := make([]int, len(fracs))
-	for i := range byK {
-		byK[i] = i
-	}
-	sort.SliceStable(byK, func(a, b int) bool { return fracs[byK[a]] < fracs[byK[b]] })
-
-	if c == nil {
-		c = g.Freeze()
-	}
-	perTrial := make([][][]float64, trials)
-	err := par.ForEachErr(workers, trials, func(trial int) error {
-		if err := errs.Ctx(ctx); err != nil {
-			return fmt.Errorf("robust: sweep trial %d: %w", trial, err)
-		}
-		order := removalOrder(g, strat, rng.Derive(seed, trial))
-		accs := make([]metricreg.MaskedAccumulator, len(factories))
-		for mi, f := range factories {
-			acc, ok := f()
-			if !ok {
-				return errs.BadParamf("robust: metric %q accumulator cannot evaluate masked", metricNames[mi])
-			}
-			accs[mi] = acc
-		}
-		ws := graph.GetWorkspace(n)
-		defer ws.Release()
-		removed := make([]bool, n)
-		vals := make([][]float64, len(accs))
-		for mi := range vals {
-			vals[mi] = make([]float64, len(fracs))
-		}
-		prev := 0
-		for _, i := range byK {
-			k := int(fracs[i] * float64(n))
-			for ; prev < k; prev++ {
-				removed[order[prev]] = true
-			}
-			for mi, acc := range accs {
-				vals[mi][i] = acc.EvaluateMasked(ws, c, removed)
-			}
-		}
-		perTrial[trial] = vals
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]MetricCurve, len(metricNames))
-	for mi, name := range metricNames {
-		out[mi] = MetricCurve{Name: name, Values: make([]float64, len(fracs))}
-	}
-	for _, vals := range perTrial {
-		for mi := range vals {
-			for i, v := range vals[mi] {
-				out[mi].Values[i] += v
-			}
-		}
-	}
-	for mi := range out {
-		for i := range out[mi].Values {
-			out[mi].Values[i] /= float64(trials)
-		}
-	}
-	return out, nil
-}
-
-// removalOrder returns all node ids in removal order for the strategy.
-func removalOrder(g *graph.Graph, strat Strategy, seed int64) []int {
-	n := g.NumNodes()
-	switch strat {
-	case DegreeAttack:
-		deg := g.Degrees()
-		order := seqInts(n)
-		sort.SliceStable(order, func(a, b int) bool {
-			return deg[order[a]] > deg[order[b]]
-		})
-		return order
-	case BetweennessAttack:
-		bc := g.Betweenness()
-		order := seqInts(n)
-		sort.SliceStable(order, func(a, b int) bool {
-			return bc[order[a]] > bc[order[b]]
-		})
-		return order
-	case AdaptiveDegreeAttack:
-		return adaptiveDegreeOrder(g)
-	default:
-		return rng.Shuffle(rng.New(seed), n)
-	}
-}
-
-// adaptiveDegreeOrder greedily removes the currently highest-degree node
-// (ties to the lowest id), maintaining residual degrees incrementally.
-func adaptiveDegreeOrder(g *graph.Graph) []int {
-	n := g.NumNodes()
-	deg := g.Degrees()
-	removed := make([]bool, n)
-	order := make([]int, 0, n)
-	for len(order) < n {
-		best := -1
-		for v := 0; v < n; v++ {
-			if removed[v] {
-				continue
-			}
-			if best == -1 || deg[v] > deg[best] {
-				best = v
-			}
-		}
-		removed[best] = true
-		order = append(order, best)
-		g.Neighbors(best, func(u, _ int) {
-			if !removed[u] {
-				deg[u]--
-			}
-		})
-	}
-	return order
+	return RunSweepContext(ctx, g, c, SweepSpec{
+		Attack:  strat.AttackName(),
+		Fracs:   fracs,
+		Trials:  trials,
+		Metrics: metricNames,
+		Mode:    ModeMasked,
+		Workers: workers,
+	}, seed)
 }
 
 // AttackGap summarizes robust-yet-fragile in one number: the area between
@@ -296,19 +160,49 @@ func adaptiveDegreeOrder(g *graph.Graph) []int {
 // (positive = attacks hurt more than failures; larger = more fragile to
 // targeting).
 func AttackGap(g *graph.Graph, attack Strategy, fracs []float64, trials int, seed int64) (float64, error) {
-	randCurve, err := Sweep(g, RandomFailure, fracs, trials, seed)
+	return AttackGapContext(context.Background(), g, nil, attack.AttackName(), nil, fracs, trials, seed, 0)
+}
+
+// AttackGapContext is AttackGap for any registered attack (by registry
+// name, with optional parameters), with cancellation, an optional
+// pre-frozen snapshot, and a worker bound. The baseline is the uniform
+// random removal over the attack's own target — random-failure for
+// node attacks, random-edge for edge attacks, so both curves share one
+// removal denominator — averaged over trials; the attack side uses a
+// single pass when the attack is deterministic and the same trial count
+// otherwise.
+func AttackGapContext(ctx context.Context, g *graph.Graph, c *graph.CSR, attack string, p attackreg.Params, fracs []float64, trials int, seed int64, workers int) (float64, error) {
+	atk, err := attackreg.Lookup(attack)
 	if err != nil {
 		return 0, err
 	}
-	atkCurve, err := Sweep(g, attack, fracs, 1, seed)
+	randCurve, err := RunSweepContext(ctx, g, c, SweepSpec{
+		Attack: BaselineFor(atk.Target()), Fracs: fracs, Trials: trials, Workers: workers,
+	}, seed)
+	if err != nil {
+		return 0, err
+	}
+	atkCurve, err := RunSweepContext(ctx, g, c, SweepSpec{
+		Attack: attack, Params: p, Fracs: fracs, Trials: trials, Workers: workers,
+	}, seed)
 	if err != nil {
 		return 0, err
 	}
 	gap := 0.0
 	for i := range fracs {
-		gap += randCurve[i].LCCFrac - atkCurve[i].LCCFrac
+		gap += randCurve[0].Values[i] - atkCurve[0].Values[i]
 	}
 	return gap / float64(len(fracs)), nil
+}
+
+// BaselineFor returns the uniform random-removal attack matching a
+// schedule target — the denominator-consistent baseline for attack-gap
+// comparisons.
+func BaselineFor(target attackreg.Target) string {
+	if target == attackreg.Edges {
+		return "random-edge"
+	}
+	return "random-failure"
 }
 
 // CriticalFraction estimates the removal fraction at which the largest
@@ -333,12 +227,4 @@ func CriticalFraction(g *graph.Graph, strat Strategy, threshold float64, steps, 
 		}
 	}
 	return 1, nil
-}
-
-func seqInts(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }

@@ -29,11 +29,19 @@ func TestSweepValidation(t *testing.T) {
 		t.Fatal("empty graph should error")
 	}
 	g := star(10)
-	if _, err := Sweep(g, RandomFailure, []float64{1.0}, 1, 1); err == nil {
-		t.Fatal("fraction 1.0 should error")
+	if _, err := Sweep(g, RandomFailure, []float64{1.1}, 1, 1); err == nil {
+		t.Fatal("fraction > 1 should error")
 	}
 	if _, err := Sweep(g, RandomFailure, []float64{-0.1}, 1, 1); err == nil {
 		t.Fatal("negative fraction should error")
+	}
+	// Full removal is a legal sweep point: the curve ends at zero.
+	pts, err := Sweep(g, RandomFailure, []float64{1.0}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].LCCFrac != 0 {
+		t.Fatalf("full removal LCC frac = %v, want 0", pts[0].LCCFrac)
 	}
 }
 

@@ -217,10 +217,6 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 	}
 
 	if at := sc.Attack; at != nil {
-		strat, err := robust.ParseStrategy(at.Strategy)
-		if err != nil {
-			return RepResult{}, err
-		}
 		fracs := at.Fracs
 		if len(fracs) == 0 {
 			fracs = []float64{0.05, 0.1, 0.2}
@@ -229,11 +225,23 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 		if trials <= 0 {
 			trials = 3
 		}
-		curve, err := robust.SweepContext(ctx, g, c, strat, fracs, trials, seed, 1)
+		// The registry-driven sweep engine in its default auto mode: the
+		// LCC curve rides the incremental reverse union-find path.
+		curves, err := robust.RunSweepContext(ctx, g, c, robust.SweepSpec{
+			Attack:  at.Strategy,
+			Params:  at.Params,
+			Fracs:   fracs,
+			Trials:  trials,
+			Workers: 1,
+		}, seed)
 		if err != nil {
 			return RepResult{}, err
 		}
-		rr.Attack = curve
+		pts := make([]robust.SweepPoint, len(fracs))
+		for i, f := range fracs {
+			pts[i] = robust.SweepPoint{FracRemoved: f, LCCFrac: curves[0].Values[i]}
+		}
+		rr.Attack = pts
 	}
 	return rr, nil
 }

@@ -173,6 +173,8 @@ func TestRunBatchRejectsBadSpecs(t *testing.T) {
 		{Generate: GenerateSpec{Model: "fkp"}, Route: &RouteSpec{Demands: 5, Mode: "teleport"}},
 		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Strategy: "nuclear"}},
 		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Fracs: []float64{1.5}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Strategy: "geographic", Params: Params{"bogus": 1}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Attack: &AttackSpec{Strategy: "preferential", Params: Params{"alpha": -3}}},
 		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{{Name: "nope"}}}},
 		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{
 			{Name: "clustering"}, {Name: "clustering"}}}},
@@ -218,6 +220,45 @@ func TestMeasureMetricSet(t *testing.T) {
 	for _, col := range []string{"mean-degree", "diameter", "lcc"} {
 		if !strings.Contains(out, col) {
 			t.Errorf("formatted table missing column %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestAttackStageRegistryAttacks runs registry attacks — parameterized
+// and edge-targeted ones the legacy Strategy enum never knew — through
+// the Attack stage, spec JSON included.
+func TestAttackStageRegistryAttacks(t *testing.T) {
+	spec := `{
+		"name": "localized",
+		"generate": {"model": "waxman", "params": {"n": 150}},
+		"attack": {"strategy": "geographic", "params": {"x": 0.1, "y": 0.1}, "fracs": [0.1, 0.5, 1]}
+	}`
+	scs, err := ParseSpec([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(nil).Run(context.Background(), scs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := res.Reps[0].Attack
+	if len(curve) != 3 {
+		t.Fatalf("attack curve = %+v", curve)
+	}
+	if curve[0].LCCFrac <= 0 || curve[2].LCCFrac != 0 {
+		t.Fatalf("geographic attack curve implausible: %+v", curve)
+	}
+	for _, strategy := range []string{"random-edge", "bottleneck-edge", "preferential"} {
+		sc := Scenario{
+			Generate: GenerateSpec{Model: "ba", Params: Params{"n": 80, "m": 2}},
+			Attack:   &AttackSpec{Strategy: strategy, Fracs: []float64{0.2}},
+		}
+		res, err := NewEngine(nil).Run(context.Background(), sc, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if got := res.Reps[0].Attack[0].LCCFrac; got <= 0 || got > 1 {
+			t.Fatalf("%s: LCC@0.2 = %v", strategy, got)
 		}
 	}
 }

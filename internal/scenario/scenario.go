@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/attackreg"
 	"repro/internal/errs"
 	"repro/internal/metricreg"
 	"repro/internal/metrics"
@@ -56,14 +57,22 @@ type RouteSpec struct {
 	Mode string `json:"mode,omitempty"`
 }
 
-// AttackSpec runs a robustness sweep.
+// AttackSpec runs a robustness sweep through the attack registry
+// (internal/attackreg).
 type AttackSpec struct {
-	// Strategy is a robust.ParseStrategy name: "random", "degree",
-	// "betweenness", or "adaptive-degree" (default random).
+	// Strategy is an attack-registry name — run `topoattack -list` for
+	// the full set; e.g. "random-failure" (default), "degree",
+	// "adaptive-degree", "betweenness", "geographic", "preferential",
+	// "random-edge", "bottleneck-edge". Legacy aliases ("random",
+	// "degree-attack", ...) keep validating.
 	Strategy string `json:"strategy,omitempty"`
-	// Fracs are the removal fractions (default 0.05, 0.1, 0.2).
+	// Params are the attack's parameters (e.g. geographic epicenter
+	// {"x": 0.2, "y": 0.8}), validated against its declared specs.
+	Params Params `json:"params,omitempty"`
+	// Fracs are the removal fractions in [0, 1] (default 0.05, 0.1,
+	// 0.2); 1 removes the whole schedule.
 	Fracs []float64 `json:"fracs,omitempty"`
-	// Trials averages random-failure sweeps (default 3; deterministic
+	// Trials averages randomized attacks (default 3; deterministic
 	// attacks always use one pass).
 	Trials int `json:"trials,omitempty"`
 }
@@ -179,12 +188,16 @@ func (s *Scenario) checkStages() error {
 		}
 	}
 	if s.Attack != nil {
-		if _, err := robust.ParseStrategy(s.Attack.Strategy); err != nil {
+		atk, err := attackreg.Lookup(s.Attack.Strategy)
+		if err != nil {
+			return err
+		}
+		if _, err := attackreg.Resolve(atk, s.Attack.Params); err != nil {
 			return err
 		}
 		for _, f := range s.Attack.Fracs {
-			if f < 0 || f >= 1 {
-				return errs.BadParamf("scenario %q: attack fraction %v out of [0,1)", s.describe(), f)
+			if f < 0 || f > 1 {
+				return errs.BadParamf("scenario %q: attack fraction %v out of [0,1]", s.describe(), f)
 			}
 		}
 		if s.Attack.Trials < 0 {
