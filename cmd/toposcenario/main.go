@@ -31,6 +31,7 @@ import (
 	"repro/internal/attackreg"
 	"repro/internal/metricreg"
 	"repro/internal/scenario"
+	"repro/internal/trafficreg"
 )
 
 func main() {
@@ -40,7 +41,7 @@ func main() {
 		format  = flag.String("format", "table", "output format: table|json")
 		out     = flag.String("o", "-", "output file ('-' = stdout)")
 		timeout = flag.Duration("timeout", 0, "abort the batch after this long (0 = no limit)")
-		list    = flag.Bool("list", false, "list registered models, attacks, and metrics with their parameters and exit")
+		list    = flag.Bool("list", false, "list registered models, traffic models, attacks, and metrics with their parameters and exit")
 	)
 	flag.Parse()
 
@@ -116,11 +117,14 @@ func run(ctx context.Context, spec string, workers int, format, out string, time
 }
 
 // listModels enumerates everything a scenario spec can name: generator
-// models (generate.model), attack strategies (attack.strategy), and
-// registry metrics (measure.metrics).
+// models (generate.model), traffic demand models (traffic.model),
+// attack strategies (attack.strategy), and registry metrics
+// (measure.metrics).
 func listModels(w io.Writer) {
 	fmt.Fprintln(w, "models:")
 	scenario.Default().FormatModels(w, "  ")
+	fmt.Fprintln(w, "traffic:")
+	trafficreg.Default().FormatModels(w, "  ")
 	fmt.Fprintln(w, "attacks:")
 	attackreg.Default().FormatAttacks(w, "  ")
 	fmt.Fprintln(w, "metrics:")

@@ -22,7 +22,7 @@ func TestRunSmokeSpecTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(data)
-	for _, want := range []string{"designed-vs-blind", "descriptive-baseline", "waxman-throughput", "localized-disaster", "lcc@fracs"} {
+	for _, want := range []string{"designed-vs-blind", "descriptive-baseline", "waxman-throughput", "localized-disaster", "lcc@fracs", "hotspot-traffic", "tmodel", "zipf-hotspot"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("output missing %q:\n%s", want, text)
 		}
@@ -79,8 +79,9 @@ func TestListShowsModelsAttacksAndMetrics(t *testing.T) {
 	listModels(&b)
 	out := b.String()
 	for _, want := range []string{
-		"models:", "attacks:", "metrics:",
+		"models:", "traffic:", "attacks:", "metrics:",
 		"fkp", "geographic", "random-edge", "lcc", "expansion",
+		"gravity", "zipf-hotspot", "single-epicenter", "throughput", "delivered-frac",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list output missing %q", want)

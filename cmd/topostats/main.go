@@ -11,6 +11,7 @@
 //	topostats -list                                 # enumerate registry metrics
 //	topostats -in topo.json -metrics clustering,expansion,diameter
 //	topostats -in topo.json -metrics expansion -param expansion.maxh=5
+//	topostats -in topo.json -metrics throughput,jain -traffic zipf-hotspot -sites 12
 //
 // Without -metrics the full default report (degree statistics, tail
 // classification, the [30]-style comparison profile) is printed. With
@@ -18,6 +19,13 @@
 // fused schedule sharing traversals over a single frozen snapshot — and
 // printed in selection order; repeatable -param metric.name=value flags
 // set metric parameters.
+//
+// Traffic-capable metrics (throughput, max-utilization, jain,
+// delivered-frac) need a demand set: -traffic names a registered demand
+// model (internal/trafficreg) that generates demands over the
+// topology's -sites top-degree nodes, with repeatable -tparam
+// model.name=value parameters; -capacity substitutes a capacity on
+// unprovisioned (zero-capacity) edges before allocating.
 //
 // Malformed input (corrupt JSON, bad adjacency lines, an empty
 // topology) exits non-zero with a diagnostic on stderr and writes no
@@ -37,26 +45,35 @@ import (
 	"repro/internal/metricreg"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/trafficreg"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "-", "input file ('-' = stdin)")
-		adj     = flag.Bool("adj", false, "input is an adjacency list, not JSON")
-		ccdf    = flag.Bool("ccdf", false, "print the degree CCDF")
-		seed    = flag.Int64("seed", 1, "seed for sampled metrics")
-		list    = flag.Bool("list", false, "list registered metrics with their parameters and exit")
-		metricF = flag.String("metrics", "", "comma-separated registry metrics to evaluate (empty = full default report)")
+		in       = flag.String("in", "-", "input file ('-' = stdin)")
+		adj      = flag.Bool("adj", false, "input is an adjacency list, not JSON")
+		ccdf     = flag.Bool("ccdf", false, "print the degree CCDF")
+		seed     = flag.Int64("seed", 1, "seed for sampled metrics")
+		list     = flag.Bool("list", false, "list registered metrics and traffic models with their parameters and exit")
+		metricF  = flag.String("metrics", "", "comma-separated registry metrics to evaluate (empty = full default report)")
+		trafficF = flag.String("traffic", "", "demand model generating traffic for the traffic-capable metrics (requires -metrics)")
+		sites    = flag.Int("sites", 16, "top-degree traffic sites for -traffic demand generation")
+		capacity = flag.Float64("capacity", 1, "capacity substituted on unprovisioned edges before allocating (-traffic; <= 0 keeps raw zeros)")
 	)
-	var mparams stringList
+	var mparams, tparams stringList
 	flag.Var(&mparams, "param", "metric parameter as metric.name=value (repeatable; requires -metrics)")
+	flag.Var(&tparams, "tparam", "traffic-model parameter as model.name=value (repeatable; requires -traffic)")
 	flag.Parse()
 
 	if *list {
 		listMetrics(os.Stdout)
 		return
 	}
-	if err := run(*in, *adj, *ccdf, *seed, *metricF, mparams, os.Stdin, os.Stdout); err != nil {
+	if err := run(runConfig{
+		in: *in, adj: *adj, ccdf: *ccdf, seed: *seed,
+		metrics: *metricF, mparams: mparams,
+		traffic: *trafficF, tparams: tparams, sites: *sites, capacity: *capacity,
+	}, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "topostats: %v\n", err)
 		os.Exit(1)
 	}
@@ -72,31 +89,75 @@ func (l *stringList) Set(s string) error {
 	return nil
 }
 
-// listMetrics prints the metric registry, sorted by name.
+// listMetrics prints the metric registry and the traffic-model
+// registry, both sorted by name.
 func listMetrics(w io.Writer) {
 	metricreg.Default().FormatMetrics(w, "-param ")
+	fmt.Fprintln(w, "traffic models (-traffic):")
+	trafficreg.Default().FormatModels(w, "-tparam ")
+}
+
+// runConfig carries the parsed flag set.
+type runConfig struct {
+	in       string
+	adj      bool
+	ccdf     bool
+	seed     int64
+	metrics  string
+	mparams  []string
+	traffic  string
+	tparams  []string
+	sites    int
+	capacity float64
 }
 
 // run reads, validates, and reports on one topology. It writes nothing
 // to w until the input has parsed, validated, and (with -metrics) the
 // selection has resolved, so a failure never leaves partial output
 // behind.
-func run(in string, adj, ccdf bool, seed int64, metricF string, mparams []string, stdin io.Reader, w io.Writer) error {
+func run(cfg runConfig, stdin io.Reader, w io.Writer) error {
 	var set []metricreg.Selection
-	if metricF != "" {
+	if cfg.metrics != "" {
 		var err error
-		if set, err = metricreg.ParseSelections(metricF, mparams); err != nil {
+		if set, err = metricreg.ParseSelections(cfg.metrics, cfg.mparams); err != nil {
 			return err
 		}
-		if ccdf {
+		if cfg.ccdf {
 			return fmt.Errorf("-ccdf applies to the default report, not -metrics")
 		}
-	} else if len(mparams) > 0 {
+	} else if len(cfg.mparams) > 0 {
 		return fmt.Errorf("-param requires -metrics")
 	}
+	var tsel *trafficreg.Selection
+	if cfg.traffic != "" {
+		if set == nil {
+			return fmt.Errorf("-traffic requires -metrics")
+		}
+		sels, err := trafficreg.ParseSelections(cfg.traffic, cfg.tparams)
+		if err != nil {
+			return err
+		}
+		if len(sels) != 1 {
+			return fmt.Errorf("-traffic takes exactly one demand model, got %q", cfg.traffic)
+		}
+		if cfg.sites == 1 {
+			return fmt.Errorf("-sites must be >= 2 (or <= 0 for all nodes)")
+		}
+		tsel = &sels[0]
+	} else if len(cfg.tparams) > 0 {
+		return fmt.Errorf("-tparam requires -traffic")
+	} else {
+		// Map the library's "no traffic attached" failure to the flag
+		// the user actually needs, before any input is read.
+		for _, sel := range set {
+			if m, err := metricreg.Lookup(sel.Name); err == nil && m.Caps()&metricreg.CapTraffic != 0 {
+				return fmt.Errorf("metric %q needs a demand set; pass -traffic <model> (see -list)", sel.Name)
+			}
+		}
+	}
 	r := stdin
-	if in != "-" {
-		f, err := os.Open(in)
+	if cfg.in != "-" {
+		f, err := os.Open(cfg.in)
 		if err != nil {
 			return err
 		}
@@ -106,9 +167,9 @@ func run(in string, adj, ccdf bool, seed int64, metricF string, mparams []string
 	var g *graph.Graph
 	var name string
 	var err error
-	if adj {
+	if cfg.adj {
 		g, err = export.ReadAdjacency(r)
-		name = in
+		name = cfg.in
 	} else {
 		g, name, err = export.ReadJSON(r)
 	}
@@ -116,12 +177,13 @@ func run(in string, adj, ccdf bool, seed int64, metricF string, mparams []string
 		return err
 	}
 	if g.NumNodes() == 0 {
-		return fmt.Errorf("input %q holds an empty topology (no nodes)", in)
+		return fmt.Errorf("input %q holds an empty topology (no nodes)", cfg.in)
 	}
 
 	if set != nil {
-		return runMetricSet(w, g, name, set, seed)
+		return runMetricSet(w, g, name, set, tsel, cfg)
 	}
+	ccdf, seed := cfg.ccdf, cfg.seed
 
 	fmt.Fprintf(w, "topology: %s\n", name)
 	fmt.Fprintf(w, "nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
@@ -153,15 +215,33 @@ func run(in string, adj, ccdf bool, seed int64, metricF string, mparams []string
 }
 
 // runMetricSet evaluates the selected metrics as one fused schedule and
-// prints them in selection order.
-func runMetricSet(w io.Writer, g *graph.Graph, name string, set []metricreg.Selection, seed int64) error {
-	vals, err := metricreg.Evaluate(context.Background(), metricreg.NewSource(g, nil), set,
-		metricreg.Options{Seed: seed})
+// prints them in selection order. With a traffic selection, the demand
+// model's demands over the topology's top-degree sites are attached so
+// traffic-capable metrics evaluate.
+func runMetricSet(w io.Writer, g *graph.Graph, name string, set []metricreg.Selection, tsel *trafficreg.Selection, cfg runConfig) error {
+	demandCount, siteCount := 0, 0
+	src := metricreg.NewSource(g, nil)
+	if tsel != nil {
+		eval, demands, sites, err := trafficreg.PrepareGraphTraffic(
+			context.Background(), g, *tsel, cfg.sites, cfg.capacity, cfg.seed)
+		if err != nil {
+			return err
+		}
+		demandCount, siteCount = len(demands), sites
+		src = metricreg.NewSource(eval, nil)
+		src.SetTraffic(demands)
+	}
+	vals, err := metricreg.Evaluate(context.Background(), src, set,
+		metricreg.Options{Seed: cfg.seed})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "topology: %s\n", name)
 	fmt.Fprintf(w, "nodes: %d\nedges: %d\n", g.NumNodes(), g.NumEdges())
+	if tsel != nil {
+		fmt.Fprintf(w, "traffic: %s (%d demands over %d sites)\n",
+			trafficreg.Canonical(tsel.Name), demandCount, siteCount)
+	}
 	for _, sel := range set {
 		v := vals[sel.Name]
 		fmt.Fprintf(w, "%s: %.6f", sel.Name, v.Scalar)

@@ -17,6 +17,11 @@ func write(t *testing.T, name, content string) string {
 	return p
 }
 
+// defaults mirrors main's flag defaults for the non-traffic tests.
+func defaults(in string) runConfig {
+	return runConfig{in: in, seed: 1, sites: 16, capacity: 1}
+}
+
 const tinyJSON = `{
 	"name": "tiny",
 	"nodes": [{"id": 0}, {"id": 1}, {"id": 2}],
@@ -26,7 +31,7 @@ const tinyJSON = `{
 func TestRunValidJSON(t *testing.T) {
 	p := write(t, "topo.json", tinyJSON)
 	var b strings.Builder
-	if err := run(p, false, false, 1, "", nil, nil, &b); err != nil {
+	if err := run(defaults(p), nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -57,7 +62,9 @@ func TestRunCorruptInputsFailWithoutOutput(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			p := write(t, tc.name, tc.content)
 			var b strings.Builder
-			err := run(p, tc.adj, false, 1, "", nil, nil, &b)
+			cfg := defaults(p)
+			cfg.adj = tc.adj
+			err := run(cfg, nil, &b)
 			if err == nil {
 				t.Fatalf("corrupt input %q accepted", tc.name)
 			}
@@ -69,7 +76,7 @@ func TestRunCorruptInputsFailWithoutOutput(t *testing.T) {
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.json"), false, false, 1, "", nil, nil, nil); err == nil {
+	if err := run(defaults(filepath.Join(t.TempDir(), "nope.json")), nil, nil); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -77,7 +84,10 @@ func TestRunMissingFile(t *testing.T) {
 func TestRunMetricSelection(t *testing.T) {
 	p := write(t, "topo.json", tinyJSON)
 	var b strings.Builder
-	err := run(p, false, false, 1, "clustering,mean-degree,expansion", []string{"expansion.maxh=2"}, nil, &b)
+	cfg := defaults(p)
+	cfg.metrics = "clustering,mean-degree,expansion"
+	cfg.mparams = []string{"expansion.maxh=2"}
+	err := run(cfg, nil, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,6 +111,78 @@ func TestRunMetricSelection(t *testing.T) {
 	}
 }
 
+// TestRunTrafficMetrics drives the -traffic path: a demand model from
+// the traffic registry feeds the CapTraffic metrics, with unprovisioned
+// edges defaulted to unit capacity.
+func TestRunTrafficMetrics(t *testing.T) {
+	p := write(t, "topo.json", tinyJSON)
+	var b strings.Builder
+	cfg := defaults(p)
+	cfg.metrics = "throughput,jain,delivered-frac,max-utilization"
+	cfg.traffic = "gravity"
+	cfg.tparams = []string{"gravity.exponent=0"}
+	cfg.sites = 3
+	err := run(cfg, nil, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "traffic: gravity (3 demands over 3 sites)") {
+		t.Errorf("missing traffic header:\n%s", out)
+	}
+	for _, prefix := range []string{"throughput: ", "jain: ", "delivered-frac: ", "max-utilization: "} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				found = true
+				if strings.HasPrefix(line, prefix+"0.000000") && prefix != "max-utilization: " {
+					t.Errorf("%s evaluated to zero on a unit-capacity path:\n%s", prefix, out)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("output missing %q line:\n%s", prefix, out)
+		}
+	}
+}
+
+func TestRunTrafficErrors(t *testing.T) {
+	p := write(t, "topo.json", tinyJSON)
+	cases := []runConfig{
+		func() runConfig { c := defaults(p); c.traffic = "gravity"; return c }(), // -traffic without -metrics
+		func() runConfig {
+			c := defaults(p)
+			c.metrics = "throughput"
+			c.traffic = "nope"
+			return c
+		}(),
+		func() runConfig {
+			c := defaults(p)
+			c.metrics = "throughput"
+			c.traffic = "gravity,uniform"
+			return c
+		}(),
+		func() runConfig {
+			c := defaults(p)
+			c.metrics = "throughput"
+			c.traffic = "gravity"
+			c.tparams = []string{"gravity.bogus=1"}
+			return c
+		}(),
+		func() runConfig { c := defaults(p); c.tparams = []string{"gravity.scale=1"}; return c }(), // -tparam without -traffic
+		func() runConfig { c := defaults(p); c.metrics = "throughput"; return c }(),                // CapTraffic metric without -traffic
+	}
+	for i, cfg := range cases {
+		var b strings.Builder
+		if err := run(cfg, nil, &b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if b.Len() != 0 {
+			t.Errorf("case %d produced partial output", i)
+		}
+	}
+}
+
 func TestRunMetricSelectionErrors(t *testing.T) {
 	p := write(t, "topo.json", tinyJSON)
 	cases := []struct {
@@ -116,7 +198,10 @@ func TestRunMetricSelectionErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(p, false, false, 1, tc.metrics, tc.params, nil, &b); err == nil {
+		cfg := defaults(p)
+		cfg.metrics = tc.metrics
+		cfg.mparams = tc.params
+		if err := run(cfg, nil, &b); err == nil {
 			t.Errorf("metrics=%q params=%v accepted", tc.metrics, tc.params)
 		}
 		if b.Len() != 0 {
@@ -129,32 +214,56 @@ func TestListMetricsSortedAndComplete(t *testing.T) {
 	var b strings.Builder
 	listMetrics(&b)
 	out := b.String()
-	var names []string
-	for _, line := range strings.Split(out, "\n") {
-		if line != "" && !strings.HasPrefix(line, " ") {
-			names = append(names, line)
-		}
+	metricSection, trafficSection, found := strings.Cut(out, "traffic models (-traffic):")
+	if !found {
+		t.Fatalf("-list missing the traffic-model section:\n%s", out)
 	}
+	sectionNames := func(s string) []string {
+		var names []string
+		for _, line := range strings.Split(s, "\n") {
+			if line != "" && !strings.HasPrefix(line, " ") {
+				names = append(names, line)
+			}
+		}
+		return names
+	}
+	names := sectionNames(metricSection)
 	if len(names) < 10 {
 		t.Fatalf("suspiciously few metrics listed (%d):\n%s", len(names), out)
 	}
 	if !sort.StringsAreSorted(names) {
-		t.Fatalf("-list output not sorted: %v", names)
+		t.Fatalf("-list metrics not sorted: %v", names)
 	}
-	for _, want := range []string{"expansion", "resilience", "clustering", "lcc", "spectral-gap"} {
-		if !strings.Contains(out, want+"\n") {
+	tnames := sectionNames(trafficSection)
+	if !sort.StringsAreSorted(tnames) {
+		t.Fatalf("-list traffic models not sorted: %v", tnames)
+	}
+	for _, want := range []string{"expansion", "resilience", "clustering", "lcc", "spectral-gap",
+		"throughput", "max-utilization", "jain", "delivered-frac"} {
+		if !strings.Contains(metricSection, want+"\n") {
 			t.Errorf("-list missing metric %q:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{"gravity", "uniform", "zipf-hotspot", "bimodal", "single-epicenter"} {
+		if !strings.Contains(trafficSection, want+"\n") {
+			t.Errorf("-list missing traffic model %q:\n%s", want, out)
 		}
 	}
 	if !strings.Contains(out, "-param expansion.maxh=<int>") {
 		t.Errorf("-list missing parameter lines:\n%s", out)
+	}
+	if !strings.Contains(out, "-tparam gravity.exponent=<float>") {
+		t.Errorf("-list missing traffic parameter lines:\n%s", out)
 	}
 }
 
 func TestCCDFConflictsWithMetricSelection(t *testing.T) {
 	p := write(t, "topo.json", tinyJSON)
 	var b strings.Builder
-	if err := run(p, false, true, 1, "clustering", nil, nil, &b); err == nil {
+	cfg := defaults(p)
+	cfg.ccdf = true
+	cfg.metrics = "clustering"
+	if err := run(cfg, nil, &b); err == nil {
 		t.Fatal("-ccdf with -metrics accepted")
 	}
 	if b.Len() != 0 {

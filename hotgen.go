@@ -23,8 +23,15 @@
 // metric curves along each schedule — via masked re-evaluation or a
 // reverse union-find incremental path that computes whole LCC
 // trajectories in near-linear time — see Attack, RunRobustnessSweep,
-// and `topoattack -list`. The free functions below remain as direct,
-// stable wrappers over the same internals.
+// and `topoattack -list`. Traffic completes the registry quartet: every
+// demand model (§2.2 makes population-gravity demand the canonical
+// evaluation input) is registered by name with typed parameters, feeds
+// the ISP provisioner and the peering optimizer, and drives the
+// scenario engine's traffic stage, whose volume-aware max-min fair
+// allocator reports throughput/fairness through traffic-capable
+// registry metrics — see DemandModel, GenerateDemandMatrix,
+// TrafficSpec, and `toposcenario -list`. The free functions below
+// remain as direct, stable wrappers over the same internals.
 //
 // The library is organized as the paper is:
 //
@@ -75,6 +82,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 	"repro/internal/validate"
 )
 
@@ -110,6 +118,11 @@ type (
 	MeasureSpec = scenario.MeasureSpec
 	// RouteSpec evaluates the topology under a random traffic matrix.
 	RouteSpec = scenario.RouteSpec
+	// TrafficSpec evaluates the topology under a registry demand model
+	// (sites, demand matrix, volume-aware max-min fair allocation).
+	TrafficSpec = scenario.TrafficSpec
+	// TrafficSummary is the traffic stage's allocation summary.
+	TrafficSummary = scenario.TrafficSummary
 	// AttackSpec runs a robustness sweep.
 	AttackSpec = scenario.AttackSpec
 	// Engine executes scenarios with cancellation, a frozen-snapshot
@@ -160,6 +173,9 @@ const (
 	// MetricCapMasked marks metrics supporting masked (node-removal)
 	// re-evaluation — the robustness-sweep contract.
 	MetricCapMasked = metricreg.CapMasked
+	// MetricCapTraffic marks metrics evaluating a traffic allocation;
+	// the source must carry a demand set (MetricSource.SetTraffic).
+	MetricCapTraffic = metricreg.CapTraffic
 )
 
 // MetricNames lists every registered metric name, sorted.
@@ -393,6 +409,53 @@ type (
 	GravityConfig = traffic.GravityConfig
 )
 
+// Traffic-model registry: the demand mirror of the generator, metric
+// and attack registries. Every demand model (gravity, uniform,
+// zipf-hotspot, bimodal, single-epicenter) is registered by name with
+// typed parameters; the ISP provisioner, the peering optimizer, and the
+// scenario engine's traffic stage all generate demand through it.
+type (
+	// DemandModel is one registered traffic model: name, typed
+	// parameter specs, and a matrix-generation function.
+	DemandModel = trafficreg.DemandModel
+	// FuncDemandModel adapts specs plus a generation function into a
+	// DemandModel.
+	FuncDemandModel = trafficreg.FuncModel
+	// TrafficRegistry maps demand-model names to DemandModels.
+	TrafficRegistry = trafficreg.Registry
+	// TrafficSelection names one demand model with optional params; the
+	// zero value is gravity with its defaults.
+	TrafficSelection = trafficreg.Selection
+	// TrafficParams carries demand-model arguments by name (JSON
+	// numbers).
+	TrafficParams = trafficreg.Params
+)
+
+// DemandModels lists every registered demand-model name, sorted.
+func DemandModels() []string { return trafficreg.Names() }
+
+// RegisterDemandModel adds a custom demand model to the default
+// registry.
+func RegisterDemandModel(m DemandModel) error { return trafficreg.Register(m) }
+
+// LookupDemandModel resolves a demand-model name ("" is gravity) in the
+// default registry.
+func LookupDemandModel(name string) (DemandModel, error) { return trafficreg.Lookup(name) }
+
+// GenerateDemandMatrix validates sel against the named model's specs
+// and generates the city-to-city demand matrix for geo, honoring ctx.
+func GenerateDemandMatrix(ctx context.Context, geo *Geography, sel TrafficSelection, seed int64) (DemandMatrix, error) {
+	return trafficreg.GenerateDemand(ctx, geo, sel, seed)
+}
+
+// GraphTrafficDemands lifts a topology's top-degree nodes into traffic
+// sites and generates sel's demand between them — the demand set the
+// scenario traffic stage allocates, also usable directly with
+// MaxMinFair or MetricSource.SetTraffic.
+func GraphTrafficDemands(ctx context.Context, g *Graph, sel TrafficSelection, sites int, seed int64) ([]Demand, error) {
+	return trafficreg.GraphDemands(ctx, g, sel, sites, seed)
+}
+
 // GenerateGeography draws a synthetic national geography.
 func GenerateGeography(cfg GeographyConfig) (*Geography, error) {
 	return traffic.GenerateGeography(cfg)
@@ -437,6 +500,14 @@ type BackboneReport = isp.BackboneReport
 // (footnote 1: topology = connectivity + capacity).
 func ProvisionBackbone(des *ISPDesign, geo *Geography, cat Catalog, demandScale float64) (*BackboneReport, error) {
 	return isp.ProvisionBackbone(des, geo, cat, demandScale)
+}
+
+// ProvisionBackboneContext is ProvisionBackbone under any registered
+// demand model (the zero TrafficSelection is gravity with its
+// defaults), with cancellation; seed feeds seed-dependent demand models
+// (pass the ISPConfig.Seed the design was built with).
+func ProvisionBackboneContext(ctx context.Context, des *ISPDesign, geo *Geography, cat Catalog, demandScale float64, model TrafficSelection, seed int64) (*BackboneReport, error) {
+	return isp.ProvisionBackboneContext(ctx, des, geo, cat, demandScale, model, seed)
 }
 
 // Internet assembly (§2.3).

@@ -1,6 +1,7 @@
 package hotgen
 
 import (
+	"context"
 	"testing"
 )
 
@@ -245,5 +246,50 @@ func TestFacadeTrafficModel(t *testing.T) {
 	}
 	if ClassifyTail([]int{1, 1, 2, 2, 3}).Kind.String() == "" {
 		t.Fatal("tail classification broken")
+	}
+}
+
+// TestFacadeTrafficRegistry drives the demand-model registry through
+// the facade: enumeration, registry generation, graph demands, the
+// scenario traffic stage, and a traffic-capable metric evaluation.
+func TestFacadeTrafficRegistry(t *testing.T) {
+	names := DemandModels()
+	if len(names) < 5 {
+		t.Fatalf("DemandModels() = %v", names)
+	}
+	if _, err := LookupDemandModel(""); err != nil {
+		t.Fatalf("empty name (gravity alias) failed: %v", err)
+	}
+	geo, err := GenerateGeography(GeographyConfig{NumCities: 10, Seed: 3, ZipfExponent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := GenerateDemandMatrix(context.Background(), geo, TrafficSelection{Name: "zipf-hotspot"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Total() <= 0 {
+		t.Fatal("registry model generated no demand")
+	}
+	g, err := GenerateByName(context.Background(), "ba", GenParams{"n": 80, "m": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := GraphTrafficDemands(context.Background(), g, TrafficSelection{}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demands) == 0 {
+		t.Fatal("no graph demands")
+	}
+	res, err := NewEngine(nil).Run(context.Background(), Scenario{
+		Generate: GenerateSpec{Model: "ba", Params: GenParams{"n": 80, "m": 2}},
+		Traffic:  &TrafficSpec{Model: "bimodal", Sites: 10},
+	}, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := res.Reps[0].Traffic; ts == nil || ts.Throughput <= 0 {
+		t.Fatalf("traffic stage summary implausible: %+v", res.Reps[0].Traffic)
 	}
 }

@@ -94,11 +94,9 @@ type Attack interface {
 
 // Selection names one attack with optional parameters; it round-trips
 // through JSON and is the unit scenario.AttackSpec and the CLIs
-// validate against the registry.
-type Selection struct {
-	Name   string        `json:"name"`
-	Params params.Params `json:"params,omitempty"`
-}
+// validate against the registry (the shared internal/params shape,
+// also under the metric and traffic registries).
+type Selection = params.Selection
 
 // Resolve validates user-supplied params against the attack's specs and
 // returns a complete parameter set with defaults filled in, wrapping
@@ -259,43 +257,11 @@ func (r *Registry) FormatAttacks(w io.Writer, paramPrefix string) {
 
 // ParseSelections builds an attack set from a comma-separated name list
 // plus "attack.param=value" assignments (the cmd/topoattack flag
-// syntax). Every failure wraps errs.ErrBadParam; assignments naming an
-// attack outside the selected set are rejected so typos fail loudly.
+// syntax, via the shared internal/params parser; the index is keyed by
+// canonical name, so an alias and its canonical spelling are caught as
+// duplicates and a param assignment reaches its attack through either
+// spelling). Every failure wraps errs.ErrBadParam; assignments naming
+// an attack outside the selected set are rejected so typos fail loudly.
 func ParseSelections(names string, kvs []string) ([]Selection, error) {
-	var set []Selection
-	// The index is keyed by canonical name, so an alias and its
-	// canonical spelling are caught as duplicates, and a param
-	// assignment reaches its attack through either spelling.
-	index := map[string]int{}
-	for _, name := range strings.Split(names, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, errs.BadParamf("attackreg: empty attack name in %q", names)
-		}
-		key := Canonical(name)
-		if _, dup := index[key]; dup {
-			return nil, errs.BadParamf("attackreg: duplicate attack %q in %q", name, names)
-		}
-		index[key] = len(set)
-		set = append(set, Selection{Name: name})
-	}
-	for _, kv := range kvs {
-		full, v, err := params.ParseKV(kv)
-		if err != nil {
-			return nil, err
-		}
-		attack, param, ok := strings.Cut(full, ".")
-		if !ok || attack == "" || param == "" {
-			return nil, errs.BadParamf("attackreg: want attack.param=value, got %q", kv)
-		}
-		i, ok := index[Canonical(attack)]
-		if !ok {
-			return nil, errs.BadParamf("attackreg: parameter %q names attack %q outside the selected set", kv, attack)
-		}
-		if set[i].Params == nil {
-			set[i].Params = params.Params{}
-		}
-		set[i].Params[param] = v
-	}
-	return set, nil
+	return params.ParseSelections("attackreg", "attack", Canonical, names, kvs)
 }

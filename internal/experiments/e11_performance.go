@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 )
 
 // E11Performance regenerates the §3.1 characterization "the
@@ -33,7 +35,13 @@ func E11Performance(opts Options) (*Table, error) {
 			"throughput", "delivFrac", "avgPath", "jain",
 		},
 	}
-	dm := traffic.GravityDemand(geo, traffic.GravityConfig{Scale: 1, Exponent: 1})
+	// The national demand matrix comes from the traffic registry's
+	// canonical gravity model (numerically identical to the former
+	// hardcoded GravityConfig{Scale: 1, Exponent: 1}).
+	dm, err := trafficreg.GenerateDemand(context.Background(), geo, trafficreg.Selection{}, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	totalDemand := dm.Total()
 
 	type policy struct {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 )
 
 // Formulation selects the paper's §2.2 economic objective.
@@ -90,6 +91,12 @@ type Config struct {
 	// formulation only).
 	PricePerDemand float64
 
+	// Demand names the registered traffic model (internal/trafficreg)
+	// whose inter-metro demand drives the backbone cost/performance
+	// augmentation. The zero Selection is gravity with its defaults —
+	// the paper's §2.2 canonical input.
+	Demand trafficreg.Selection
+
 	// MetroSpread is the Gaussian scatter of customers around their city
 	// center (default 0.03).
 	MetroSpread float64
@@ -135,6 +142,15 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.MetroRingSize >= 2 && out.Formulation == ProfitBased {
 		return out, fmt.Errorf("isp: metro rings are incompatible with the profit formulation")
+	}
+	// Validate the demand model up front so a bad selection fails before
+	// any buildout.
+	dm, err := trafficreg.Lookup(out.Demand.Name)
+	if err != nil {
+		return out, err
+	}
+	if _, err := trafficreg.Resolve(dm, out.Demand.Params); err != nil {
+		return out, err
 	}
 	return out, nil
 }
@@ -203,7 +219,7 @@ func BuildContext(ctx context.Context, cfg Config) (*Design, error) {
 	if err := errs.Ctx(ctx); err != nil {
 		return nil, fmt.Errorf("isp: before backbone design: %w", err)
 	}
-	if err := buildBackbone(&c, des); err != nil {
+	if err := buildBackbone(ctx, &c, des); err != nil {
 		return nil, err
 	}
 
@@ -254,8 +270,9 @@ func placePOPs(c *Config) []int {
 }
 
 // buildBackbone connects POPs: MST first (cost-minimal spanning), then
-// greedy cost/performance augmentation.
-func buildBackbone(c *Config, des *Design) error {
+// greedy cost/performance augmentation against the configured demand
+// model's inter-POP traffic.
+func buildBackbone(ctx context.Context, c *Config, des *Design) error {
 	g := des.Graph
 	k := len(des.POPs)
 	if k == 1 {
@@ -290,8 +307,12 @@ func buildBackbone(c *Config, des *Design) error {
 	if c.MaxExtraBackboneLinks <= 0 || c.PerfWeight <= 0 {
 		return nil
 	}
-	// Inter-POP demand via the gravity model restricted to POP cities.
-	dm := traffic.GravityDemand(c.Geography, traffic.GravityConfig{Scale: 1, Exponent: 1})
+	// Inter-POP demand via the configured registry model restricted to
+	// POP cities.
+	dm, err := trafficreg.GenerateDemand(ctx, c.Geography, c.Demand, c.Seed)
+	if err != nil {
+		return fmt.Errorf("isp: backbone demand: %w", err)
+	}
 	var demands []routing.Demand
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {

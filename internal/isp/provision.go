@@ -1,11 +1,13 @@
 package isp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
 	"repro/internal/routing"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 )
 
 // BackboneReport describes the provisioning of the WAN after routing the
@@ -30,16 +32,28 @@ type BackboneReport struct {
 	AvgPathWeight float64
 }
 
-// ProvisionBackbone routes the gravity demand between the design's POP
-// metros over the built topology and installs the cheapest adequate
-// cable configuration on every backbone link — the "resource capacity"
-// half of topology the paper's footnote 1 insists on (topology =
-// connectivity + capacity annotations). Backbone edge capacities and
-// cable kinds in the design graph are updated in place.
+// ProvisionBackbone routes the inter-metro demand between the design's
+// POP metros over the built topology and installs the cheapest adequate
+// cable configuration on every backbone link, using the canonical
+// gravity demand model with its defaults (the paper's §2.2 input).
 //
-// demandScale converts gravity units into cable-capacity units; <= 0
+// demandScale converts demand units into cable-capacity units; <= 0
 // picks the scale that puts the busiest link at one top-tier cable.
 func ProvisionBackbone(des *Design, geo *traffic.Geography, cat access.Catalog, demandScale float64) (*BackboneReport, error) {
+	return ProvisionBackboneContext(context.Background(), des, geo, cat, demandScale, trafficreg.Selection{}, 0)
+}
+
+// ProvisionBackboneContext is ProvisionBackbone under any registered
+// demand model (internal/trafficreg; the zero Selection is gravity with
+// its defaults), with cancellation — the "resource capacity" half of
+// topology the paper's footnote 1 insists on (topology = connectivity +
+// capacity annotations) is provisioned against a first-class,
+// parameterized traffic input instead of a hardcoded one. Backbone edge
+// capacities and cable kinds in the design graph are updated in place.
+// seed feeds seed-dependent demand models; pass the Config.Seed the
+// design was built with so capacities are sized for the same matrix
+// that drove the backbone augmentation (built-ins ignore it).
+func ProvisionBackboneContext(ctx context.Context, des *Design, geo *traffic.Geography, cat access.Catalog, demandScale float64, model trafficreg.Selection, seed int64) (*BackboneReport, error) {
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +63,10 @@ func ProvisionBackbone(des *Design, geo *traffic.Geography, cat access.Catalog, 
 	if geo == nil {
 		return nil, fmt.Errorf("isp: missing geography")
 	}
-	dm := traffic.GravityDemand(geo, traffic.GravityConfig{Scale: 1, Exponent: 1})
+	dm, err := trafficreg.GenerateDemand(ctx, geo, model, seed)
+	if err != nil {
+		return nil, fmt.Errorf("isp: provision demand: %w", err)
+	}
 	var demands []routing.Demand
 	for i := 0; i < len(des.POPs); i++ {
 		for j := i + 1; j < len(des.POPs); j++ {

@@ -1,9 +1,13 @@
 package isp
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/access"
+	"repro/internal/errs"
+	"repro/internal/trafficreg"
 )
 
 func TestProvisionBackboneBasics(t *testing.T) {
@@ -79,6 +83,51 @@ func TestProvisionBackboneErrors(t *testing.T) {
 	}
 	if _, err := ProvisionBackbone(d, testGeo(t, 20, 44), access.Catalog{}, 0); err == nil {
 		t.Fatal("empty catalog should error")
+	}
+}
+
+// TestProvisionBackboneDemandModels provisions the same design under
+// different registry demand models: the default (zero Selection) must
+// equal explicit gravity defaults exactly, other models must provision
+// successfully with different loads, and a bad selection must fail as
+// ErrBadParam before touching the design.
+func TestProvisionBackboneDemandModels(t *testing.T) {
+	geo := testGeo(t, 20, 46)
+	buildOne := func() *Design {
+		t.Helper()
+		d, err := Build(baseConfig(t, 46))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ctx := context.Background()
+	def, err := ProvisionBackbone(buildOne(), geo, access.DefaultCatalog(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grav, err := ProvisionBackboneContext(ctx, buildOne(), geo, access.DefaultCatalog(), 0,
+		trafficreg.Selection{Name: "gravity"}, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range def.LoadPerEdge {
+		if def.LoadPerEdge[k] != grav.LoadPerEdge[k] {
+			t.Fatalf("zero Selection differs from explicit gravity at edge %d: %v vs %v",
+				k, def.LoadPerEdge[k], grav.LoadPerEdge[k])
+		}
+	}
+	uni, err := ProvisionBackboneContext(ctx, buildOne(), geo, access.DefaultCatalog(), 0,
+		trafficreg.Selection{Name: "uniform"}, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Demands == 0 || uni.MaxUtilization > 1+1e-9 {
+		t.Fatalf("uniform-demand provisioning implausible: %+v", uni)
+	}
+	if _, err := ProvisionBackboneContext(ctx, buildOne(), geo, access.DefaultCatalog(), 0,
+		trafficreg.Selection{Name: "nope"}, 46); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown demand model gave %v, want ErrBadParam", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/routing"
 )
 
 // Accumulator is the streaming state of one metric during one
@@ -67,6 +68,24 @@ type Source struct {
 
 	connOnce sync.Once
 	conn     bool
+
+	// Traffic state (CapTraffic metrics): the attached demand set and
+	// the routing/allocation results computed from it, once per Source
+	// and shared by every traffic metric of the set.
+	demands     []routing.Demand
+	trafficOnce sync.Once
+	alloc       *trafficEval
+	trafficErr  error
+}
+
+// trafficEval bundles the shared traffic evaluation: the volume-aware
+// max-min fair allocation, the uncapacitated shortest-path routing of
+// the full offered volumes (the provisioning-quality view), and the
+// total offered volume.
+type trafficEval struct {
+	mm      *routing.MaxMinResult
+	sp      *routing.Result
+	offered float64
 }
 
 // NewSource builds a Source from a graph and/or its frozen snapshot:
@@ -97,6 +116,35 @@ func (s *Source) NumNodes() int {
 		return s.c.NumNodes()
 	}
 	return s.g.NumNodes()
+}
+
+// SetTraffic attaches a demand set to the source, enabling CapTraffic
+// metrics (throughput, max-utilization, jain, delivered-frac). Call it
+// before Evaluate; the demands are routed and allocated lazily, once,
+// on first use by any traffic metric. The slice is retained.
+func (s *Source) SetTraffic(demands []routing.Demand) { s.demands = demands }
+
+// HasTraffic reports whether a demand set is attached (an empty,
+// non-nil demand set counts: the traffic metrics then report zeros).
+func (s *Source) HasTraffic() bool { return s.demands != nil }
+
+// traffic computes the shared traffic evaluation once: the volume-aware
+// max-min fair allocation and the shortest-path routing of the attached
+// demands, from a single path-pinning pass over the snapshot. Safe for
+// concurrent traffic metrics.
+func (s *Source) traffic(ctx context.Context) (*trafficEval, error) {
+	s.trafficOnce.Do(func() {
+		ev := &trafficEval{}
+		for _, d := range s.demands {
+			ev.offered += d.Volume
+		}
+		ev.sp, ev.mm, s.trafficErr = routing.RouteAndAllocateContext(ctx, s.g, s.CSR(), s.demands)
+		if s.trafficErr != nil {
+			return
+		}
+		s.alloc = ev
+	})
+	return s.alloc, s.trafficErr
 }
 
 // Connected reports whether the topology is connected (the empty
@@ -186,6 +234,9 @@ func (r *Registry) Evaluate(ctx context.Context, src *Source, set []Selection, o
 		seen[sel.Name] = true
 		if m.Caps()&CapGraph != 0 && src.g == nil {
 			return nil, errs.BadParamf("metricreg: metric %q needs the full graph, source holds only a CSR snapshot", sel.Name)
+		}
+		if m.Caps()&CapTraffic != 0 && !src.HasTraffic() {
+			return nil, errs.BadParamf("metricreg: metric %q needs a demand set, source has no traffic attached (SetTraffic)", sel.Name)
 		}
 		resolved, err := Resolve(m, sel.Params)
 		if err != nil {

@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/errs"
@@ -47,6 +46,11 @@ const (
 	// CapMasked: the metric's accumulator supports masked
 	// (node-removal) re-evaluation, the robustness-sweep contract.
 	CapMasked
+	// CapTraffic: the metric evaluates a traffic allocation, so the
+	// source must carry a demand set (Source.SetTraffic). The shared
+	// routing/allocation results are computed once per Source and
+	// reused by every traffic metric in the set.
+	CapTraffic
 )
 
 // Value is one metric's result: a scalar, plus an optional series for
@@ -78,11 +82,9 @@ type Metric interface {
 
 // Selection names one metric of a set with optional parameters; a
 // []Selection is the unit Registry.Evaluate plans as one fused
-// schedule. It round-trips through JSON.
-type Selection struct {
-	Name   string        `json:"name"`
-	Params params.Params `json:"params,omitempty"`
-}
+// schedule. It round-trips through JSON (the shared internal/params
+// shape, also under the attack and traffic registries).
+type Selection = params.Selection
 
 // Resolve validates user-supplied params against the metric's specs
 // and returns a complete parameter set with defaults filled in,
@@ -208,40 +210,10 @@ func (r *Registry) FormatMetrics(w io.Writer, paramPrefix string) {
 }
 
 // ParseSelections builds a metric set from a comma-separated name list
-// plus "metric.param=value" assignments (the cmd/topostats flag
-// syntax). Every failure wraps errs.ErrBadParam; assignments naming a
-// metric outside the selected set are rejected so typos fail loudly.
+// plus "metric.param=value" assignments (the cmd/topostats flag syntax,
+// via the shared internal/params parser). Every failure wraps
+// errs.ErrBadParam; assignments naming a metric outside the selected
+// set are rejected so typos fail loudly.
 func ParseSelections(names string, kvs []string) ([]Selection, error) {
-	var set []Selection
-	index := map[string]int{}
-	for _, name := range strings.Split(names, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, errs.BadParamf("metricreg: empty metric name in %q", names)
-		}
-		if _, dup := index[name]; dup {
-			return nil, errs.BadParamf("metricreg: duplicate metric %q in %q", name, names)
-		}
-		index[name] = len(set)
-		set = append(set, Selection{Name: name})
-	}
-	for _, kv := range kvs {
-		full, v, err := params.ParseKV(kv)
-		if err != nil {
-			return nil, err
-		}
-		metric, param, ok := strings.Cut(full, ".")
-		if !ok || metric == "" || param == "" {
-			return nil, errs.BadParamf("metricreg: want metric.param=value, got %q", kv)
-		}
-		i, ok := index[metric]
-		if !ok {
-			return nil, errs.BadParamf("metricreg: parameter %q names metric %q outside the selected set", kv, metric)
-		}
-		if set[i].Params == nil {
-			set[i].Params = params.Params{}
-		}
-		set[i].Params[param] = v
-	}
-	return set, nil
+	return params.ParseSelections("metricreg", "metric", nil, names, kvs)
 }

@@ -1,0 +1,85 @@
+package metricreg
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/params"
+)
+
+// Traffic metrics: the performance half of the paper's cost/performance
+// tradeoff, evaluated against a demand set attached to the Source
+// (SetTraffic) — offered volumes routed on shortest paths and allocated
+// max-min fairly with volume ceilings. All four declare CapTraffic (the
+// source must carry demands) and CapGraph (routing needs edge
+// capacities), and share one routing/allocation pass per Source.
+func init() {
+	stats := []struct {
+		name string
+		stat trafficStat
+	}{
+		{"throughput", tsThroughput},
+		{"max-utilization", tsMaxUtil},
+		{"jain", tsJain},
+		{"delivered-frac", tsDeliveredFrac},
+	}
+	for _, s := range stats {
+		s := s
+		m := &FuncMetric{
+			MetricName: s.name,
+			MetricCaps: CapTraffic | CapGraph,
+			NewFn: func(params.Params, int64) Accumulator {
+				return &trafficAcc{stat: s.stat}
+			},
+		}
+		if err := Register(m); err != nil {
+			panic(err)
+		}
+	}
+}
+
+type trafficStat int
+
+const (
+	// tsThroughput: total volume-aware max-min fair allocated rate.
+	tsThroughput trafficStat = iota
+	// tsMaxUtil: max over edges of shortest-path load / capacity; -1
+	// when a loaded edge has no capacity (keeps JSON finite).
+	tsMaxUtil
+	// tsJain: Jain's fairness index over the routable demands'
+	// allocated rates.
+	tsJain
+	// tsDeliveredFrac: allocated throughput over total offered volume.
+	tsDeliveredFrac
+)
+
+type trafficAcc struct {
+	stat trafficStat
+	val  Value
+}
+
+func (a *trafficAcc) Run(ctx context.Context, src *Source, _ int) error {
+	ev, err := src.traffic(ctx)
+	if err != nil {
+		return err
+	}
+	switch a.stat {
+	case tsThroughput:
+		a.val = Value{Scalar: ev.mm.Throughput}
+	case tsMaxUtil:
+		u := ev.sp.MaxUtilization
+		if math.IsInf(u, 0) || math.IsNaN(u) {
+			u = -1
+		}
+		a.val = Value{Scalar: u}
+	case tsJain:
+		a.val = Value{Scalar: ev.mm.JainIndex}
+	case tsDeliveredFrac:
+		if ev.offered > 0 {
+			a.val = Value{Scalar: ev.mm.Throughput / ev.offered}
+		}
+	}
+	return nil
+}
+
+func (a *trafficAcc) Finalize() Value { return a.val }

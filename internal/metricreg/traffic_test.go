@@ -1,0 +1,110 @@
+package metricreg
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+func trafficSet() []Selection {
+	return []Selection{
+		{Name: "throughput"}, {Name: "max-utilization"},
+		{Name: "jain"}, {Name: "delivered-frac"},
+	}
+}
+
+// TestTrafficMetricsHandComputed evaluates the four CapTraffic metrics
+// on the hand-checked volume-aware instance: a capacity-6 edge shared
+// by volumes 1 and 100 allocates [1 5].
+func TestTrafficMetricsHandComputed(t *testing.T) {
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.Node{})
+	}
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 6})
+	g.AddEdge(graph.Edge{U: 1, V: 2, Weight: 1, Capacity: 100})
+	src := NewSource(g, nil)
+	src.SetTraffic([]routing.Demand{
+		{Src: 0, Dst: 1, Volume: 1},
+		{Src: 0, Dst: 2, Volume: 100},
+	})
+	vals, err := Evaluate(context.Background(), src, trafficSet(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["throughput"].Scalar; math.Abs(got-6) > 1e-9 {
+		t.Errorf("throughput = %v, want 6", got)
+	}
+	// Shortest-path routing of the full offered volumes loads the
+	// shared edge with 101 over capacity 6.
+	if got := vals["max-utilization"].Scalar; math.Abs(got-101.0/6.0) > 1e-9 {
+		t.Errorf("max-utilization = %v, want %v", got, 101.0/6.0)
+	}
+	if got := vals["jain"].Scalar; math.Abs(got-36.0/52.0) > 1e-9 {
+		t.Errorf("jain = %v, want %v", got, 36.0/52.0)
+	}
+	if got := vals["delivered-frac"].Scalar; math.Abs(got-6.0/101.0) > 1e-9 {
+		t.Errorf("delivered-frac = %v, want %v", got, 6.0/101.0)
+	}
+}
+
+// TestTrafficMetricsNeedDemands pins the CapTraffic contract: a source
+// without SetTraffic rejects traffic metrics as ErrBadParam.
+func TestTrafficMetricsNeedDemands(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 1})
+	for _, sel := range trafficSet() {
+		_, err := Evaluate(context.Background(), NewSource(g, nil), []Selection{sel}, Options{})
+		if !errors.Is(err, errs.ErrBadParam) {
+			t.Errorf("%s without traffic gave %v, want ErrBadParam", sel.Name, err)
+		}
+	}
+	// A CSR-only source cannot route either (CapGraph).
+	src := NewSource(nil, g.Freeze())
+	src.SetTraffic([]routing.Demand{{Src: 0, Dst: 1, Volume: 1}})
+	if _, err := Evaluate(context.Background(), src, trafficSet(), Options{}); !errors.Is(err, errs.ErrBadParam) {
+		t.Errorf("CSR-only source gave %v, want ErrBadParam", err)
+	}
+}
+
+// TestTrafficMetricsEmptyAndInfinite covers the degenerate values: an
+// empty demand set reports zeros, and a loaded zero-capacity edge
+// clamps max-utilization to -1 so results stay JSON-safe.
+func TestTrafficMetricsEmptyAndInfinite(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddEdge(graph.Edge{U: 0, V: 1, Weight: 1, Capacity: 0})
+
+	src := NewSource(g, nil)
+	src.SetTraffic([]routing.Demand{})
+	vals, err := Evaluate(context.Background(), src, trafficSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range trafficSet() {
+		if got := vals[sel.Name].Scalar; got != 0 {
+			t.Errorf("%s on empty demands = %v, want 0", sel.Name, got)
+		}
+	}
+
+	loaded := NewSource(g, nil)
+	loaded.SetTraffic([]routing.Demand{{Src: 0, Dst: 1, Volume: 2}})
+	vals, err = Evaluate(context.Background(), loaded, trafficSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["max-utilization"].Scalar; got != -1 {
+		t.Errorf("max-utilization over a zero-capacity edge = %v, want the -1 clamp", got)
+	}
+	if got := vals["throughput"].Scalar; got != 0 {
+		t.Errorf("throughput over a zero-capacity edge = %v, want 0", got)
+	}
+}

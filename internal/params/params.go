@@ -147,3 +147,59 @@ func ParseKVs(pairs []string) (Params, error) {
 	}
 	return out, nil
 }
+
+// Selection names one registered component with optional parameters —
+// the unit every registry (metrics, attacks, traffic models) validates
+// and the CLIs parse. It round-trips through JSON.
+type Selection struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+}
+
+// ParseSelections builds a component set from a comma-separated name
+// list plus "component.param=value" assignments — the shared CLI flag
+// syntax of every registry. owner prefixes error messages (e.g.
+// "metricreg"), noun names the component kind (e.g. "metric"), and
+// canonical maps aliased spellings onto registry keys (nil = identity),
+// so an alias and its canonical form are caught as duplicates and a
+// parameter assignment reaches its component through either spelling.
+// Every failure wraps errs.ErrBadParam; assignments naming a component
+// outside the selected set are rejected so typos fail loudly.
+func ParseSelections(owner, noun string, canonical func(string) string, names string, kvs []string) ([]Selection, error) {
+	if canonical == nil {
+		canonical = func(s string) string { return s }
+	}
+	var set []Selection
+	index := map[string]int{}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, errs.BadParamf("%s: empty %s name in %q", owner, noun, names)
+		}
+		key := canonical(name)
+		if _, dup := index[key]; dup {
+			return nil, errs.BadParamf("%s: duplicate %s %q in %q", owner, noun, name, names)
+		}
+		index[key] = len(set)
+		set = append(set, Selection{Name: name})
+	}
+	for _, kv := range kvs {
+		full, v, err := ParseKV(kv)
+		if err != nil {
+			return nil, err
+		}
+		component, param, ok := strings.Cut(full, ".")
+		if !ok || component == "" || param == "" {
+			return nil, errs.BadParamf("%s: want %s.param=value, got %q", owner, noun, kv)
+		}
+		i, ok := index[canonical(component)]
+		if !ok {
+			return nil, errs.BadParamf("%s: parameter %q names %s %q outside the selected set", owner, kv, noun, component)
+		}
+		if set[i].Params == nil {
+			set[i].Params = Params{}
+		}
+		set[i].Params[param] = v
+	}
+	return set, nil
+}

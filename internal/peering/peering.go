@@ -16,6 +16,7 @@ import (
 	"repro/internal/isp"
 	"repro/internal/rng"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 )
 
 // ISPInstance is one provider in the internet model.
@@ -53,6 +54,11 @@ type Config struct {
 	// max(2, round(POPsPerISP * (i+1)^-SizeSkew)) POPs, a Zipf-like size
 	// distribution across providers. 0 keeps all ISPs the same size.
 	SizeSkew float64
+	// Demand names the registered traffic model (internal/trafficreg)
+	// whose city-to-city demand scores peering candidates and drives
+	// each member ISP's backbone augmentation. The zero Selection is
+	// gravity with its defaults — the paper's §2.2 canonical input.
+	Demand trafficreg.Selection
 }
 
 // Internet is the assembled multi-ISP topology.
@@ -125,9 +131,13 @@ func AssembleContext(ctx context.Context, cfg Config) (*Internet, error) {
 	}
 
 	// --- Decide peerings ---------------------------------------------------
-	// Two ISPs peer at a shared POP city when the gravity traffic between
-	// their footprints routed through that city justifies the setup cost.
-	dm := traffic.GravityDemand(cfg.Geography, traffic.GravityConfig{Scale: 1, Exponent: 1})
+	// Two ISPs peer at a shared POP city when the configured demand
+	// model's traffic between their footprints routed through that city
+	// justifies the setup cost.
+	dm, err := trafficreg.GenerateDemand(ctx, cfg.Geography, cfg.Demand, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("peering: demand: %w", err)
+	}
 	for a := 0; a < cfg.NumISPs; a++ {
 		for b := a + 1; b < cfg.NumISPs; b++ {
 			shared := sharedCities(inet.ISPs[a].Design, inet.ISPs[b].Design)
@@ -222,6 +232,7 @@ func buildMemberISP(ctx context.Context, cfg Config, k int, seed int64) (*isp.De
 		PerfWeight:            30,
 		MaxExtraBackboneLinks: 2,
 		DemandMin:             1,
+		Demand:                cfg.Demand,
 	})
 	if err != nil {
 		return nil, err

@@ -1,10 +1,13 @@
 package peering
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/traffic"
+	"repro/internal/trafficreg"
 )
 
 func testGeo(t *testing.T, seed int64) *traffic.Geography {
@@ -50,6 +53,45 @@ func TestAssembleBasics(t *testing.T) {
 	}
 	if inet.Router.NumNodes() != total {
 		t.Fatalf("router nodes = %d, want %d", inet.Router.NumNodes(), total)
+	}
+}
+
+// TestAssembleDemandModels assembles the internet under registry demand
+// models: the zero Selection reproduces explicit gravity defaults
+// bit-for-bit, another model still assembles, and a bad selection fails
+// as ErrBadParam.
+func TestAssembleDemandModels(t *testing.T) {
+	def, err := Assemble(baseCfg(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg(t, 9)
+	cfg.Demand = trafficreg.Selection{Name: "gravity"}
+	grav, err := Assemble(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grav.Peerings) != len(def.Peerings) {
+		t.Fatalf("explicit gravity peerings %d != default %d", len(grav.Peerings), len(def.Peerings))
+	}
+	for i := range def.Peerings {
+		if def.Peerings[i] != grav.Peerings[i] {
+			t.Fatalf("peering %d differs: %+v vs %+v", i, def.Peerings[i], grav.Peerings[i])
+		}
+	}
+	cfg = baseCfg(t, 9)
+	cfg.Demand = trafficreg.Selection{Name: "zipf-hotspot", Params: trafficreg.Params{"exponent": 2}}
+	hot, err := Assemble(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.ISPs) != 6 || hot.Router.NumNodes() == 0 {
+		t.Fatalf("hotspot-demand assembly implausible: %d ISPs", len(hot.ISPs))
+	}
+	cfg = baseCfg(t, 9)
+	cfg.Demand = trafficreg.Selection{Name: "nope"}
+	if _, err := Assemble(cfg); !errors.Is(err, errs.ErrBadParam) {
+		t.Fatalf("unknown demand model gave %v, want ErrBadParam", err)
 	}
 }
 

@@ -135,11 +135,17 @@ func RouteShortestPathsContext(ctx context.Context, g *graph.Graph, c *graph.CSR
 	if c == nil {
 		c = g.Freeze()
 	}
-	res := &Result{Load: make([]float64, g.NumEdges())}
 	ps, err := pinPaths(ctx, c, demands, true)
 	if err != nil {
 		return nil, err
 	}
+	return shortestFromPaths(g, demands, ps), nil
+}
+
+// shortestFromPaths accumulates the shortest-path routing result from
+// an already-pinned path set.
+func shortestFromPaths(g *graph.Graph, demands []Demand, ps *pathSet) *Result {
+	res := &Result{Load: make([]float64, g.NumEdges())}
 	var totalW, totalHops float64
 	for i, d := range demands {
 		if d.Volume <= 0 {
@@ -162,7 +168,29 @@ func RouteShortestPathsContext(ctx context.Context, g *graph.Graph, c *graph.CSR
 		res.AvgHops = totalHops / res.Delivered
 	}
 	res.MaxUtilization = maxUtilization(g, res.Load)
-	return res, nil
+	return res
+}
+
+// RouteAndAllocateContext pins each positive-volume demand's shortest
+// path once on the snapshot and evaluates both views of the pinned
+// paths: the uncapacitated shortest-path routing of the full offered
+// volumes (how well the provisioning matches the load) and the
+// volume-aware max-min fair allocation (what throughput it actually
+// delivers). Results are identical to calling RouteShortestPathsContext
+// and MaxMinFairContext separately, at one parallel path-pinning pass
+// instead of two — the traffic-metric evaluation path.
+func RouteAndAllocateContext(ctx context.Context, g *graph.Graph, c *graph.CSR, demands []Demand) (*Result, *MaxMinResult, error) {
+	if err := checkDemands(g, demands); err != nil {
+		return nil, nil, err
+	}
+	if c == nil {
+		c = g.Freeze()
+	}
+	ps, err := pinPaths(ctx, c, demands, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shortestFromPaths(g, demands, ps), maxminFromPaths(g, demands, ps), nil
 }
 
 // RouteCapacitated routes demands in the given order on shortest paths,
@@ -306,8 +334,11 @@ func checkDemands(g *graph.Graph, demands []Demand) error {
 		if d.Src == d.Dst {
 			return errs.BadParamf("routing: demand %d is a self-loop at node %d", i, d.Src)
 		}
-		if d.Volume < 0 {
-			return errs.BadParamf("routing: demand %d has negative volume", i)
+		// NaN must be rejected here: a NaN ceiling would freeze at rate
+		// NaN in the volume-aware filling (every comparison against it
+		// is false), poisoning Throughput and JainIndex.
+		if d.Volume < 0 || math.IsNaN(d.Volume) {
+			return errs.BadParamf("routing: demand %d has invalid volume %v", i, d.Volume)
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/robust"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/trafficreg"
 )
 
 // Options tune an Engine batch run.
@@ -216,6 +217,14 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 		rr.Route = sum
 	}
 
+	if ts := sc.Traffic; ts != nil {
+		sum, err := e.traffic(ctx, g, c, ts, seed)
+		if err != nil {
+			return RepResult{}, err
+		}
+		rr.Traffic = sum
+	}
+
 	if at := sc.Attack; at != nil {
 		fracs := at.Fracs
 		if len(fracs) == 0 {
@@ -279,6 +288,61 @@ func (e *Engine) route(ctx context.Context, g *graph.Graph, c *graph.CSR, rt *Ro
 		return nil, errs.BadParamf("scenario: unknown route mode %q", mode)
 	}
 	return sum, nil
+}
+
+// trafficMetricSet is the CapTraffic metric set the traffic stage
+// evaluates on the registry-generated demands.
+func trafficMetricSet() []metricreg.Selection {
+	return []metricreg.Selection{
+		{Name: "throughput"}, {Name: "max-utilization"},
+		{Name: "jain"}, {Name: "delivered-frac"},
+	}
+}
+
+// traffic runs the registry-driven route/allocate stage: the named
+// demand model generates site-to-site demands over the topology's
+// top-degree sites, and the CapTraffic metrics summarize the
+// volume-aware allocation. One fused evaluation per replication on the
+// shared frozen snapshot.
+func (e *Engine) traffic(ctx context.Context, g *graph.Graph, c *graph.CSR, ts *TrafficSpec, seed int64) (*TrafficSummary, error) {
+	sites := ts.Sites
+	if sites <= 0 {
+		sites = 16
+	}
+	// Unprovisioned edges count as one capacity unit (or ts.Capacity)
+	// so generated topologies allocate instead of starving; edge weights
+	// are untouched, so the shared frozen snapshot stays valid for path
+	// pinning.
+	defCap := ts.Capacity
+	if defCap == 0 {
+		defCap = 1
+	}
+	eval, demands, sites, err := trafficreg.PrepareGraphTraffic(ctx, g,
+		trafficreg.Selection{Name: ts.Model, Params: ts.Params}, sites, defCap, seed)
+	if err != nil {
+		return nil, err
+	}
+	src := metricreg.NewSource(eval, c)
+	src.SetTraffic(demands)
+	vals, err := metricreg.Default().Evaluate(ctx, src, trafficMetricSet(),
+		metricreg.Options{Workers: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	offered := 0.0
+	for _, d := range demands {
+		offered += d.Volume
+	}
+	return &TrafficSummary{
+		Model:          trafficreg.Canonical(ts.Model),
+		Sites:          sites,
+		Demands:        len(demands),
+		Offered:        offered,
+		Throughput:     vals["throughput"].Scalar,
+		DeliveredFrac:  vals["delivered-frac"].Scalar,
+		MaxUtilization: vals["max-utilization"].Scalar,
+		Jain:           vals["jain"].Scalar,
+	}, nil
 }
 
 // finite clamps +Inf utilization (zero-capacity edges) to -1 so result

@@ -40,6 +40,19 @@ func testScenarios() []Scenario {
 			Attack:   &AttackSpec{Strategy: "random", Trials: 2},
 			Reps:     2,
 		},
+		{
+			Name:     "ba-traffic",
+			Generate: GenerateSpec{Model: "ba", Params: Params{"n": 90, "m": 2}},
+			Traffic:  &TrafficSpec{Model: "gravity", Params: Params{"exponent": 0.5}, Sites: 12},
+			Reps:     2,
+		},
+		{
+			Name:     "waxman-hotspot-traffic",
+			Generate: GenerateSpec{Model: "waxman", Params: Params{"n": 70, "alpha": 0.15, "beta": 0.6}},
+			Measure:  &MeasureSpec{Degrees: true},
+			Traffic:  &TrafficSpec{Model: "zipf-hotspot", Sites: 10},
+			Reps:     2,
+		},
 	}
 }
 
@@ -180,6 +193,13 @@ func TestRunBatchRejectsBadSpecs(t *testing.T) {
 			{Name: "clustering"}, {Name: "clustering"}}}},
 		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{
 			{Name: "expansion", Params: Params{"maxh": -1}}}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Measure: &MeasureSpec{Metrics: []MetricSelection{
+			{Name: "throughput"}}}}, // CapTraffic metric outside the traffic stage
+		{Generate: GenerateSpec{Model: "fkp"}, Traffic: &TrafficSpec{Model: "teleport"}},
+		{Generate: GenerateSpec{Model: "fkp"}, Traffic: &TrafficSpec{Params: Params{"bogus": 1}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Traffic: &TrafficSpec{Model: "gravity", Params: Params{"scale": -2}}},
+		{Generate: GenerateSpec{Model: "fkp"}, Traffic: &TrafficSpec{Sites: 1}},
+		{Generate: GenerateSpec{Model: "fkp"}, Traffic: &TrafficSpec{Sites: -3}},
 	}
 	for i, sc := range cases {
 		_, err := NewEngine(nil).RunBatch(context.Background(), []Scenario{sc}, Options{})
@@ -220,6 +240,69 @@ func TestMeasureMetricSet(t *testing.T) {
 	for _, col := range []string{"mean-degree", "diameter", "lcc"} {
 		if !strings.Contains(out, col) {
 			t.Errorf("formatted table missing column %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestTrafficStage runs the registry-driven traffic stage end to end:
+// demand models from the traffic registry, spec JSON included, produce
+// a plausible allocation summary and the formatted columns.
+func TestTrafficStage(t *testing.T) {
+	spec := `{
+		"name": "hotspot",
+		"generate": {"model": "ba", "params": {"n": 100, "m": 2}},
+		"traffic": {"model": "zipf-hotspot", "params": {"exponent": 1.5}, "sites": 8}
+	}`
+	scs, err := ParseSpec([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(nil).Run(context.Background(), scs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Reps[0].Traffic
+	if ts == nil {
+		t.Fatal("traffic stage produced no summary")
+	}
+	if ts.Model != "zipf-hotspot" || ts.Sites != 8 {
+		t.Fatalf("summary header = %+v", ts)
+	}
+	if ts.Demands == 0 || ts.Offered <= 0 {
+		t.Fatalf("no demand generated: %+v", ts)
+	}
+	if ts.Throughput <= 0 || ts.Throughput > ts.Offered+1e-9 {
+		t.Fatalf("throughput %v outside (0, offered=%v]", ts.Throughput, ts.Offered)
+	}
+	if ts.DeliveredFrac <= 0 || ts.DeliveredFrac > 1+1e-9 {
+		t.Fatalf("delivered fraction %v outside (0, 1]", ts.DeliveredFrac)
+	}
+	if ts.Jain <= 0 || ts.Jain > 1+1e-9 {
+		t.Fatalf("Jain %v outside (0, 1]", ts.Jain)
+	}
+	out := res.Format()
+	for _, col := range []string{"tmodel", "tput", "tdeliv", "tmaxutil", "tjain", "zipf-hotspot"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("formatted table missing %q:\n%s", col, out)
+		}
+	}
+
+	// The default model is gravity, and every other built-in runs too.
+	for _, model := range []string{"", "gravity", "uniform", "bimodal", "single-epicenter"} {
+		sc := Scenario{
+			Generate: GenerateSpec{Model: "ba", Params: Params{"n": 60, "m": 2}},
+			Traffic:  &TrafficSpec{Model: model},
+		}
+		res, err := NewEngine(nil).Run(context.Background(), sc, Options{})
+		if err != nil {
+			t.Fatalf("model %q: %v", model, err)
+		}
+		ts := res.Reps[0].Traffic
+		if ts.Throughput <= 0 {
+			t.Fatalf("model %q: throughput = %v", model, ts.Throughput)
+		}
+		if model == "" && ts.Model != "gravity" {
+			t.Fatalf("empty model canonicalized to %q, want gravity", ts.Model)
 		}
 	}
 }

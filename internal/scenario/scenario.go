@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/robust"
+	"repro/internal/trafficreg"
 )
 
 // GenerateSpec names a registered generator and its parameters.
@@ -57,6 +59,30 @@ type RouteSpec struct {
 	Mode string `json:"mode,omitempty"`
 }
 
+// TrafficSpec evaluates the topology under a registry demand model
+// (internal/trafficreg): the highest-degree nodes become traffic sites,
+// the named model generates the site-to-site demand matrix, and the
+// resulting demands are routed and allocated max-min fairly with
+// volume ceilings. The CapTraffic metric set (throughput,
+// max-utilization, jain, delivered-frac) summarizes the allocation.
+type TrafficSpec struct {
+	// Model is a traffic-registry name — run `toposcenario -list` for
+	// the full set; e.g. "gravity" (default), "uniform", "zipf-hotspot",
+	// "bimodal", "single-epicenter".
+	Model string `json:"model,omitempty"`
+	// Params are the model's parameters (e.g. gravity {"exponent": 2}),
+	// validated against its declared specs.
+	Params Params `json:"params,omitempty"`
+	// Sites is how many top-degree nodes exchange traffic (default 16;
+	// clamped to the node count).
+	Sites int `json:"sites,omitempty"`
+	// Capacity is substituted for every edge without provisioned
+	// capacity before allocating, so generated-but-unprovisioned
+	// topologies are evaluated as unit-capacity networks (default 1;
+	// negative keeps raw zero capacities).
+	Capacity float64 `json:"capacity,omitempty"`
+}
+
 // AttackSpec runs a robustness sweep through the attack registry
 // (internal/attackreg).
 type AttackSpec struct {
@@ -86,6 +112,7 @@ type Scenario struct {
 	Generate GenerateSpec `json:"generate"`
 	Measure  *MeasureSpec `json:"measure,omitempty"`
 	Route    *RouteSpec   `json:"route,omitempty"`
+	Traffic  *TrafficSpec `json:"traffic,omitempty"`
 	Attack   *AttackSpec  `json:"attack,omitempty"`
 	// Seeds are explicit per-replication seeds; Reps pads beyond them
 	// with seeds derived from the last explicit one (or, with no Seeds,
@@ -169,6 +196,12 @@ func (s *Scenario) checkStages() error {
 				return errs.BadParamf("scenario %q: duplicate metric %q", s.describe(), sel.Name)
 			}
 			seen[sel.Name] = true
+			// The measure stage's source never carries a demand set, so
+			// a traffic-capable metric there could only fail per-rep at
+			// runtime; reject it up front.
+			if mt.Caps()&metricreg.CapTraffic != 0 {
+				return errs.BadParamf("scenario %q: metric %q needs a demand set — use the traffic stage, not measure.metrics", s.describe(), sel.Name)
+			}
 			if _, err := metricreg.Resolve(mt, sel.Params); err != nil {
 				return err
 			}
@@ -185,6 +218,21 @@ func (s *Scenario) checkStages() error {
 		}
 		if s.Route.Volume < 0 {
 			return errs.BadParamf("scenario %q: negative route volume", s.describe())
+		}
+	}
+	if s.Traffic != nil {
+		dm, err := trafficreg.Lookup(s.Traffic.Model)
+		if err != nil {
+			return err
+		}
+		if _, err := trafficreg.Resolve(dm, s.Traffic.Params); err != nil {
+			return err
+		}
+		if s.Traffic.Sites < 0 || s.Traffic.Sites == 1 {
+			return errs.BadParamf("scenario %q: traffic stage needs sites >= 2 (or 0 for the default)", s.describe())
+		}
+		if math.IsNaN(s.Traffic.Capacity) || math.IsInf(s.Traffic.Capacity, 0) {
+			return errs.BadParamf("scenario %q: traffic capacity %v", s.describe(), s.Traffic.Capacity)
 		}
 	}
 	if s.Attack != nil {
@@ -294,6 +342,29 @@ type RouteSummary struct {
 	Jain float64 `json:"jain,omitempty"`
 }
 
+// TrafficSummary is the traffic stage's output: the CapTraffic metric
+// set evaluated on the registry-generated demand set.
+type TrafficSummary struct {
+	// Model is the canonical demand-model name that generated the
+	// demands.
+	Model string `json:"model"`
+	// Sites and Demands describe the generated demand set: top-degree
+	// traffic sites and positive-volume site pairs.
+	Sites   int `json:"sites"`
+	Demands int `json:"demands"`
+	// Offered is the total offered volume; Throughput the volume-aware
+	// max-min fair allocation's total rate; DeliveredFrac their ratio.
+	Offered       float64 `json:"offered"`
+	Throughput    float64 `json:"throughput"`
+	DeliveredFrac float64 `json:"delivered_frac"`
+	// MaxUtilization is max load/capacity under shortest-path routing
+	// of the full offered volumes (-1 when a loaded edge has no
+	// capacity).
+	MaxUtilization float64 `json:"max_utilization"`
+	// Jain is the fairness index over the allocated rates.
+	Jain float64 `json:"jain"`
+}
+
 // RepResult is one replication's output.
 type RepResult struct {
 	Seed    int64                      `json:"seed"`
@@ -303,6 +374,7 @@ type RepResult struct {
 	Degrees *DegreeSummary             `json:"degrees,omitempty"`
 	Metrics map[string]metricreg.Value `json:"metrics,omitempty"`
 	Route   *RouteSummary              `json:"route,omitempty"`
+	Traffic *TrafficSummary            `json:"traffic,omitempty"`
 	Attack  []robust.SweepPoint        `json:"attack,omitempty"`
 }
 
@@ -335,6 +407,9 @@ func (r *Result) Format() string {
 	if r.Scenario.Route != nil {
 		header = append(header, "mode", "delivered", "dropped", "maxutil", "avghops", "jain")
 	}
+	if r.Scenario.Traffic != nil {
+		header = append(header, "tmodel", "tsites", "tput", "tdeliv", "tmaxutil", "tjain")
+	}
 	if r.Scenario.Attack != nil {
 		header = append(header, "lcc@fracs")
 	}
@@ -366,6 +441,12 @@ func (r *Result) Format() string {
 				f4(rep.Route.Delivered), f4(rep.Route.Dropped),
 				f4(rep.Route.MaxUtilization), f4(rep.Route.AvgHops),
 				f4(rep.Route.Jain))
+		}
+		if rep.Traffic != nil {
+			row = append(row, rep.Traffic.Model,
+				strconv.Itoa(rep.Traffic.Sites),
+				f4(rep.Traffic.Throughput), f4(rep.Traffic.DeliveredFrac),
+				f4(rep.Traffic.MaxUtilization), f4(rep.Traffic.Jain))
 		}
 		if rep.Attack != nil {
 			cells := make([]string, len(rep.Attack))

@@ -29,6 +29,11 @@ type City struct {
 type Geography struct {
 	Region geom.Rect
 	Cities []City
+	// Overlaps counts cities placed within MinSeparation of an existing
+	// city because rejection sampling gave up (the requested separation
+	// was infeasible or nearly so for the region). 0 means every
+	// separation constraint was honored.
+	Overlaps int
 }
 
 // GeographyConfig parameterizes synthetic geography generation.
@@ -62,6 +67,14 @@ func GenerateGeography(cfg GeographyConfig) (*Geography, error) {
 	r := rng.New(cfg.Seed)
 	z := rng.NewZipf(cfg.NumCities, cfg.ZipfExponent)
 
+	tooClose := func(cities []City, p geom.Point) bool {
+		for _, c := range cities {
+			if c.Loc.Dist(p) < cfg.MinSeparation {
+				return true
+			}
+		}
+		return false
+	}
 	g := &Geography{Region: region}
 	for i := 0; i < cfg.NumCities; i++ {
 		var p geom.Point
@@ -70,16 +83,14 @@ func GenerateGeography(cfg GeographyConfig) (*Geography, error) {
 			if cfg.MinSeparation <= 0 || attempt > 200 {
 				break
 			}
-			ok := true
-			for _, c := range g.Cities {
-				if c.Loc.Dist(p) < cfg.MinSeparation {
-					ok = false
-					break
-				}
-			}
-			if ok {
+			if !tooClose(g.Cities, p) {
 				break
 			}
+		}
+		// Rejection sampling gives up after 200 attempts and accepts an
+		// unchecked point; count the violation instead of hiding it.
+		if cfg.MinSeparation > 0 && tooClose(g.Cities, p) {
+			g.Overlaps++
 		}
 		g.Cities = append(g.Cities, City{
 			Name:       fmt.Sprintf("city-%02d", i),
@@ -148,6 +159,10 @@ func GravityDemand(g *Geography, cfg GravityConfig) DemandMatrix {
 	for i := range m {
 		m[i] = make([]float64, n)
 	}
+	if popTotal <= 0 {
+		// No population, no traffic (and no NaN fractions).
+		return m
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			d := g.Cities[i].Loc.Dist(g.Cities[j].Loc)
@@ -183,6 +198,8 @@ func CustomersFromCity(g *Geography, cityIdx, n int, spread float64, seed int64)
 
 // AllocateCustomers distributes total customers across cities in
 // proportion to population (largest remainder method, deterministic).
+// An all-zero-population geography has no proportions to honor and
+// allocates zero customers everywhere.
 func AllocateCustomers(g *Geography, total int) []int {
 	n := len(g.Cities)
 	out := make([]int, n)
@@ -190,6 +207,11 @@ func AllocateCustomers(g *Geography, total int) []int {
 		return out
 	}
 	pop := g.TotalPopulation()
+	if pop <= 0 {
+		// Dividing by zero population would make every fraction NaN and
+		// the largest-remainder sort nondeterministic.
+		return out
+	}
 	type rem struct {
 		idx  int
 		frac float64

@@ -90,6 +90,33 @@ func TestGenerateGeographyErrors(t *testing.T) {
 	}
 }
 
+// TestGeographyOverlapsCounted pins the infeasible-separation behavior:
+// many cities with a separation larger than the region can hold must
+// still produce the requested city count, but the violations are
+// surfaced in Overlaps rather than silently accepted.
+func TestGeographyOverlapsCounted(t *testing.T) {
+	g, err := GenerateGeography(GeographyConfig{
+		NumCities: 40, Seed: 11, MinSeparation: 0.9, // at most a few 0.9-separated points fit the unit square
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cities) != 40 {
+		t.Fatalf("cities = %d, want 40 even when separation is infeasible", len(g.Cities))
+	}
+	if g.Overlaps == 0 {
+		t.Fatal("infeasible MinSeparation placed overlapping cities without counting them")
+	}
+	// Feasible instances must report a clean placement.
+	ok, err := GenerateGeography(GeographyConfig{NumCities: 15, Seed: 5, MinSeparation: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Overlaps != 0 {
+		t.Fatalf("feasible placement reported %d overlaps", ok.Overlaps)
+	}
+}
+
 func TestGravityDemandSymmetricPositive(t *testing.T) {
 	g := testGeo(t, 12, 6)
 	m := GravityDemand(g, GravityConfig{Scale: 100, Exponent: 1})
@@ -187,6 +214,42 @@ func TestAllocateCustomersZero(t *testing.T) {
 	for _, a := range alloc {
 		if a != 0 {
 			t.Fatal("zero total should allocate nothing")
+		}
+	}
+}
+
+// TestAllocateCustomersZeroPopulation is the NaN regression: an
+// all-zero-population geography used to divide by zero, making every
+// largest-remainder fraction NaN and the allocation order dependent on
+// the sort's behavior under NaN. It must deterministically allocate
+// nothing.
+func TestAllocateCustomersZeroPopulation(t *testing.T) {
+	g := &Geography{Region: geom.UnitSquare}
+	for i := 0; i < 6; i++ {
+		g.Cities = append(g.Cities, City{Name: "ghost", Loc: geom.Point{X: 0.1 * float64(i), Y: 0.5}})
+	}
+	for trial := 0; trial < 3; trial++ {
+		alloc := AllocateCustomers(g, 100)
+		for i, a := range alloc {
+			if a != 0 {
+				t.Fatalf("zero-population city %d allocated %d customers", i, a)
+			}
+		}
+	}
+}
+
+// TestGravityDemandZeroPopulation covers the same guard in the gravity
+// model: no population means no traffic, not NaN entries.
+func TestGravityDemandZeroPopulation(t *testing.T) {
+	g := &Geography{Region: geom.UnitSquare, Cities: []City{
+		{Loc: geom.Point{X: 0.2, Y: 0.2}}, {Loc: geom.Point{X: 0.8, Y: 0.8}},
+	}}
+	m := GravityDemand(g, GravityConfig{Scale: 1, Exponent: 1})
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				t.Fatalf("demand[%d][%d] = %v, want 0 for a zero-population geography", i, j, m[i][j])
+			}
 		}
 	}
 }

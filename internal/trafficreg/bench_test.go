@@ -1,0 +1,29 @@
+package trafficreg
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// BenchmarkDemandGeneration measures registry-driven matrix generation
+// per built-in model on a 100-city geography — the demand half of the
+// provisioning hot path.
+func BenchmarkDemandGeneration(b *testing.B) {
+	geo, err := traffic.GenerateGeography(traffic.GeographyConfig{
+		NumCities: 100, Seed: 1, ZipfExponent: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateDemand(context.Background(), geo, Selection{Name: name}, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

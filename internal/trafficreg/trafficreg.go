@@ -1,0 +1,234 @@
+// Package trafficreg is the traffic-demand mirror of the generator,
+// metric and attack registries (internal/scenario, internal/metricreg,
+// internal/attackreg): every demand model the performance harness can
+// route is registered by name with typed, validated, JSON-serializable
+// parameters. The paper's §2.2 makes traffic the canonical input of
+// topology evaluation — "a natural approach to traffic demand is based
+// on population centers dispersed over a geographic region" — and this
+// package makes the demand model a first-class, parameterized stage
+// rather than a hardcoded gravity call.
+//
+// A DemandModel turns a Geography (population centers with locations)
+// into a symmetric city-to-city DemandMatrix, deterministically from
+// its resolved parameters and a seed. Consumers span the stack: the ISP
+// provisioner and the peering optimizer generate inter-metro demand
+// through it, and the scenario engine's traffic stage evaluates any
+// generated topology by lifting its nodes into a pseudo-geography
+// (SiteGeography) and allocating the resulting demands max-min fairly.
+package trafficreg
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/params"
+	"repro/internal/traffic"
+)
+
+// Params carries demand-model arguments by name (the shared
+// internal/params machinery, also under the other three registries).
+// Values are float64 — the JSON number type — so a Params map
+// round-trips through JSON verbatim.
+type Params = params.Params
+
+// ParamSpec declares one named demand-model parameter: its kind,
+// default, and optional closed bounds.
+type ParamSpec = params.Spec
+
+// DemandModel is one registered traffic-demand model: a name, a typed
+// parameter interface, and a matrix-generation function.
+type DemandModel interface {
+	// Name is the registry key (e.g. "gravity", "zipf-hotspot").
+	Name() string
+	// Params declares the accepted parameters with kinds, defaults and
+	// bounds.
+	Params() []params.Spec
+	// Generate builds the symmetric city-to-city demand matrix for geo,
+	// deterministically from the resolved params and seed.
+	// Implementations check ctx at iteration boundaries of superlinear
+	// work and return an errs.ErrCanceled-wrapping error once it is
+	// done.
+	Generate(ctx context.Context, geo *traffic.Geography, p params.Params, seed int64) (traffic.DemandMatrix, error)
+}
+
+// Selection names one demand model with optional parameters; it
+// round-trips through JSON and is the unit scenario.TrafficSpec, the
+// ISP/peering configs, and the CLIs validate against the registry (the
+// shared internal/params shape, also under the other registries).
+type Selection = params.Selection
+
+// Resolve validates user-supplied params against the model's specs and
+// returns a complete parameter set with defaults filled in, wrapping
+// errs.ErrBadParam on unknown names, non-integral Int values and
+// out-of-bounds values.
+func Resolve(m DemandModel, p params.Params) (params.Params, error) {
+	return params.Resolve(fmt.Sprintf("trafficreg: model %q", m.Name()), m.Params(), p)
+}
+
+// aliases maps historical spellings onto canonical registry names. The
+// empty name resolves to gravity — the paper's canonical demand model —
+// so a zero Selection reproduces the pre-registry hardcoded behavior.
+var aliases = map[string]string{
+	"": "gravity",
+}
+
+// Canonical maps a possibly-aliased model name to its registry key.
+// Unknown names pass through unchanged (Lookup reports them).
+func Canonical(name string) string {
+	if c, ok := aliases[name]; ok {
+		return c
+	}
+	return name
+}
+
+// Registry maps demand-model names to DemandModels. The zero value is
+// ready to use; Default() holds every built-in model.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]DemandModel
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a model, rejecting duplicate or empty names.
+func (r *Registry) Register(m DemandModel) error {
+	name := m.Name()
+	if name == "" {
+		return errs.BadParamf("trafficreg: model with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName == nil {
+		r.byName = map[string]DemandModel{}
+	}
+	if _, dup := r.byName[name]; dup {
+		return errs.BadParamf("trafficreg: model %q already registered", name)
+	}
+	r.byName[name] = m
+	return nil
+}
+
+// Lookup resolves a model by name (aliases included; "" is gravity),
+// wrapping errs.ErrBadParam for unknown names.
+func (r *Registry) Lookup(name string) (DemandModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byName[Canonical(name)]
+	if !ok {
+		return nil, errs.BadParamf("trafficreg: unknown demand model %q (have %v)", name, r.namesLocked())
+	}
+	return m, nil
+}
+
+// Names lists every registered model name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry holding every built-in
+// demand model (and anything added through Register).
+func Default() *Registry { return defaultRegistry }
+
+// Register adds a model to the default registry.
+func Register(m DemandModel) error { return defaultRegistry.Register(m) }
+
+// Lookup resolves a name (aliases included) in the default registry.
+func Lookup(name string) (DemandModel, error) { return defaultRegistry.Lookup(name) }
+
+// Names lists the default registry, sorted.
+func Names() []string { return defaultRegistry.Names() }
+
+// FuncModel adapts a parameter-spec list plus a generation function
+// into a DemandModel; it is how every built-in model is registered and
+// the easiest way to add external ones.
+type FuncModel struct {
+	ModelName   string
+	ModelParams []params.Spec
+	Fn          func(ctx context.Context, geo *traffic.Geography, p params.Params, seed int64) (traffic.DemandMatrix, error)
+}
+
+// Name implements DemandModel.
+func (f *FuncModel) Name() string { return f.ModelName }
+
+// Params implements DemandModel.
+func (f *FuncModel) Params() []params.Spec {
+	out := make([]params.Spec, len(f.ModelParams))
+	copy(out, f.ModelParams)
+	return out
+}
+
+// Generate implements DemandModel.
+func (f *FuncModel) Generate(ctx context.Context, geo *traffic.Geography, p params.Params, seed int64) (traffic.DemandMatrix, error) {
+	return f.Fn(ctx, geo, p, seed)
+}
+
+// GenerateDemand resolves sel in the registry, validates its params,
+// and generates the demand matrix for geo — the one-call path the
+// ISP/peering layers and the scenario engine use. A zero Selection
+// runs gravity with its defaults (the paper's §2.2 canonical model,
+// numerically identical to the pre-registry hardcoded call).
+func (r *Registry) GenerateDemand(ctx context.Context, geo *traffic.Geography, sel Selection, seed int64) (traffic.DemandMatrix, error) {
+	if geo == nil {
+		return nil, errs.BadParamf("trafficreg: missing geography")
+	}
+	m, err := r.Lookup(sel.Name)
+	if err != nil {
+		return nil, err
+	}
+	resolved, err := Resolve(m, sel.Params)
+	if err != nil {
+		return nil, err
+	}
+	return m.Generate(ctx, geo, resolved, seed)
+}
+
+// GenerateDemand generates with the default registry.
+func GenerateDemand(ctx context.Context, geo *traffic.Geography, sel Selection, seed int64) (traffic.DemandMatrix, error) {
+	return defaultRegistry.GenerateDemand(ctx, geo, sel, seed)
+}
+
+// FormatModels writes a human-readable listing of every registered
+// demand model and its parameters (sorted by name), prefixing each
+// parameter line with paramPrefix — CLIs share this for their -list
+// flags.
+func (r *Registry) FormatModels(w io.Writer, paramPrefix string) {
+	for _, name := range r.Names() {
+		m, err := r.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s\n", name)
+		specs := m.Params()
+		sort.Slice(specs, func(a, b int) bool { return specs[a].Name < specs[b].Name })
+		for _, s := range specs {
+			fmt.Fprintf(w, "  %s%s.%s=<%s>  (default %g)  %s\n", paramPrefix, name, s.Name, s.Kind, s.Default, s.Help)
+		}
+	}
+}
+
+// ParseSelections builds a demand-model set from a comma-separated name
+// list plus "model.param=value" assignments (the CLI flag syntax, via
+// the shared internal/params parser). Every failure wraps
+// errs.ErrBadParam; assignments naming a model outside the selected set
+// are rejected so typos fail loudly.
+func ParseSelections(names string, kvs []string) ([]Selection, error) {
+	return params.ParseSelections("trafficreg", "model", Canonical, names, kvs)
+}
