@@ -1,0 +1,70 @@
+//go:build slowbench
+
+package hotgen
+
+// The million-node and HOT-grown slices of the scaling tier, behind the
+// slowbench build tag because topology construction alone takes tens of
+// seconds:
+//
+//	go test -tags slowbench -run '^$' -bench BenchmarkScale -benchtime 1x .
+//
+// The HOT/FKP growth models are O(n^2) in the candidate scan, so their
+// slice runs at a reduced node count (25k) that still exercises the
+// direction-optimizing switch on an optimization-grown topology; the
+// BA/ER slices run at the full 10^6 nodes the int32 CSR tier targets.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+func ba1m(b *testing.B) *scaleTopo {
+	return scaleTopoFor(b, "ba-1m", func() (*graph.Graph, error) { return gen.BarabasiAlbert(1_000_000, 2, 1) })
+}
+
+func er1m(b *testing.B) *scaleTopo {
+	return scaleTopoFor(b, "er-1m", func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(1_000_000, 2_000_000, 1) })
+}
+
+func hot25k(b *testing.B) *scaleTopo {
+	return scaleTopoFor(b, "hot-25k", func() (*graph.Graph, error) {
+		g, _, err := core.GrowHOT(core.HOTConfig{
+			N:               25_000,
+			Seed:            1,
+			Terms:           []core.ObjectiveTerm{core.DistanceTerm{Weight: 8}, core.CentralityTerm{Weight: 1}},
+			LinksPerArrival: 2,
+		})
+		return g, err
+	})
+}
+
+func BenchmarkScaleBFSDirOptBA1M(b *testing.B)   { benchBFS(b, ba1m(b), false) }
+func BenchmarkScaleBFSTopDownBA1M(b *testing.B)  { benchBFS(b, ba1m(b), true) }
+func BenchmarkScaleBFSDirOptER1M(b *testing.B)   { benchBFS(b, er1m(b), false) }
+func BenchmarkScaleBFSTopDownER1M(b *testing.B)  { benchBFS(b, er1m(b), true) }
+func BenchmarkScaleBFSDirOptHOT25k(b *testing.B) { benchBFS(b, hot25k(b), false) }
+func BenchmarkScaleBFSTopDownHOT25k(b *testing.B) {
+	benchBFS(b, hot25k(b), true)
+}
+
+func BenchmarkScaleDijkstraBucketBA1M(b *testing.B) { benchDijkstra(b, ba1m(b), false) }
+func BenchmarkScaleDijkstraHeapBA1M(b *testing.B)   { benchDijkstra(b, ba1m(b), true) }
+
+func BenchmarkScaleRoutingFanoutBA1M(b *testing.B) {
+	t := ba1m(b)
+	// 64 demands (~64 distinct sources): enough to exercise the
+	// per-worker workspace fan-out without hour-long single-core runs.
+	demands := scaleDemands(t.c.NumNodes(), 64, 44)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.RouteShortestPathsContext(context.Background(), t.g, t.c, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

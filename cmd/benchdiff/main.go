@@ -1,0 +1,213 @@
+// Command benchdiff gates benchmark regressions against a committed
+// baseline. It compares a fresh benchmark run (either raw `go test
+// -bench` text output or a scripts/bench.sh JSON file) with a baseline
+// JSON file and fails when:
+//
+//   - a kernel the baseline records as allocation-free (allocs/op == 0)
+//     now allocates — gated exactly, any alloc is a regression;
+//   - a benchmark's ns/op exceeds baseline * (1 + tolerance).
+//
+// Improvements and new benchmarks never fail. Benchmarks present in the
+// baseline but missing from the fresh run only warn (the per-commit CI
+// run skips the scaling tier that the recorded baseline includes) unless
+// -require-all is set.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_20260807.json -fresh out.txt [-tolerance 0.25] [-require-all]
+//
+// Exit status 1 on any regression, 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark measurement, matching the field names
+// scripts/bench.sh records.
+type benchResult struct {
+	Name      string   `json:"name"`
+	NsPerOp   float64  `json:"ns_per_op"`
+	BytesOp   *float64 `json:"bytes_per_op"`
+	AllocsOp  *float64 `json:"allocs_per_op"`
+	Iteration int64    `json:"iterations"`
+}
+
+// parseFile loads benchmark results from either a bench.sh JSON file or
+// raw `go test -bench` text output, keyed by benchmark name (with the
+// -N GOMAXPROCS suffix stripped so runs from different machines align).
+func parseFile(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var list []benchResult
+		if err := json.Unmarshal(data, &list); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := make(map[string]benchResult, len(list))
+		for _, r := range list {
+			out[normalizeName(r.Name)] = r
+		}
+		return out, nil
+	}
+	return parseBenchText(data)
+}
+
+// parseBenchText parses raw `go test -bench -benchmem` output lines of
+// the form:
+//
+//	BenchmarkX-8   100   12345 ns/op   64 B/op   2 allocs/op
+func parseBenchText(data []byte) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := benchResult{Name: normalizeName(fields[0])}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r.Iteration = iters
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "B/op":
+				b := v
+				r.BytesOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsOp = &a
+			}
+		}
+		if ok {
+			out[r.Name] = r
+		}
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the trailing -N parallelism suffix go test
+// appends to benchmark names.
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diffLine is one comparison verdict.
+type diffLine struct {
+	text string
+	fail bool
+}
+
+// compare applies the gate to every baseline benchmark. tolerance is
+// the allowed fractional ns/op growth (0.25 = +25%).
+func compare(baseline, fresh map[string]benchResult, tolerance float64, requireAll bool) []diffLine {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []diffLine
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := fresh[name]
+		if !ok {
+			out = append(out, diffLine{
+				text: fmt.Sprintf("MISSING %s (in baseline, not in fresh run)", name),
+				fail: requireAll,
+			})
+			continue
+		}
+		if base.AllocsOp != nil && *base.AllocsOp == 0 && got.AllocsOp != nil && *got.AllocsOp > 0 {
+			out = append(out, diffLine{
+				text: fmt.Sprintf("FAIL    %s: allocs/op %g, baseline 0 (allocation-free kernel regressed)", name, *got.AllocsOp),
+				fail: true,
+			})
+			continue
+		}
+		limit := base.NsPerOp * (1 + tolerance)
+		switch {
+		case got.NsPerOp > limit:
+			out = append(out, diffLine{
+				text: fmt.Sprintf("FAIL    %s: %.0f ns/op exceeds baseline %.0f +%d%% (limit %.0f)",
+					name, got.NsPerOp, base.NsPerOp, int(tolerance*100), limit),
+				fail: true,
+			})
+		default:
+			out = append(out, diffLine{
+				text: fmt.Sprintf("ok      %s: %.0f ns/op (baseline %.0f)", name, got.NsPerOp, base.NsPerOp),
+			})
+		}
+	}
+	for name := range fresh {
+		if _, ok := baseline[name]; !ok {
+			out = append(out, diffLine{text: fmt.Sprintf("NEW     %s (not in baseline)", name)})
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline JSON file (scripts/bench.sh output)")
+	freshPath := flag.String("fresh", "", "fresh results: bench.sh JSON or raw `go test -bench` output")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before failing")
+	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the fresh run")
+	quiet := flag.Bool("quiet", false, "print only failures and warnings")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := parseFile(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines := compare(baseline, fresh, *tolerance, *requireAll)
+	failed := 0
+	for _, l := range lines {
+		if l.fail {
+			failed++
+		}
+		if l.fail || !*quiet || !strings.HasPrefix(l.text, "ok") {
+			fmt.Println(l.text)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond tolerance %.0f%%\n", failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within tolerance %.0f%%\n", len(lines), *tolerance*100)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func failures(lines []diffLine) []string {
+	var out []string
+	for _, l := range lines {
+		if l.fail {
+			out = append(out, l.text)
+		}
+	}
+	return out
+}
+
+func TestCompareGates(t *testing.T) {
+	baseline := map[string]benchResult{
+		"BenchmarkFast":  {Name: "BenchmarkFast", NsPerOp: 1000, AllocsOp: fp(0)},
+		"BenchmarkSlow":  {Name: "BenchmarkSlow", NsPerOp: 1000},
+		"BenchmarkGone":  {Name: "BenchmarkGone", NsPerOp: 500},
+		"BenchmarkAlloc": {Name: "BenchmarkAlloc", NsPerOp: 1000, AllocsOp: fp(3)},
+	}
+	fresh := map[string]benchResult{
+		"BenchmarkFast":  {Name: "BenchmarkFast", NsPerOp: 1100, AllocsOp: fp(0)}, // +10%: ok
+		"BenchmarkSlow":  {Name: "BenchmarkSlow", NsPerOp: 1300},                  // +30%: fail at 25%
+		"BenchmarkAlloc": {Name: "BenchmarkAlloc", NsPerOp: 900, AllocsOp: fp(5)}, // alloc growth, not 0-gated
+		"BenchmarkNew":   {Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	fails := failures(compare(baseline, fresh, 0.25, false))
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkSlow") {
+		t.Fatalf("want exactly the ns/op regression, got %q", fails)
+	}
+
+	// The allocation-free gate is exact: one alloc fails even when faster.
+	fresh["BenchmarkFast"] = benchResult{Name: "BenchmarkFast", NsPerOp: 500, AllocsOp: fp(1)}
+	fails = failures(compare(baseline, fresh, 0.25, false))
+	if len(fails) != 2 {
+		t.Fatalf("want alloc + ns regressions, got %q", fails)
+	}
+	found := false
+	for _, f := range fails {
+		if strings.Contains(f, "BenchmarkFast") && strings.Contains(f, "allocation-free") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("allocation-free gate did not fire: %q", fails)
+	}
+
+	// Missing benchmarks warn by default, fail under -require-all.
+	if fails := failures(compare(baseline, fresh, 10, false)); len(fails) != 1 {
+		t.Fatalf("missing bench failed without -require-all: %q", fails)
+	}
+	fails = failures(compare(baseline, fresh, 10, true))
+	hasMissing := false
+	for _, f := range fails {
+		if strings.Contains(f, "BenchmarkGone") {
+			hasMissing = true
+		}
+	}
+	if !hasMissing {
+		t.Fatalf("-require-all did not gate the missing bench: %q", fails)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	baseline := map[string]benchResult{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1000}}
+	at := map[string]benchResult{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1250}}
+	if fails := failures(compare(baseline, at, 0.25, false)); len(fails) != 0 {
+		t.Fatalf("exactly-at-limit failed: %q", fails)
+	}
+	over := map[string]benchResult{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1251}}
+	if fails := failures(compare(baseline, over, 0.25, false)); len(fails) != 1 {
+		t.Fatalf("over-limit passed: %q", fails)
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	raw := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkBFSCSRPooled-8     	    1221	    983124 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8            	     100	     12345 ns/op
+BenchmarkOdd not a bench line
+PASS
+ok  	repro	2.153s
+`
+	got, err := parseBenchText([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkBFSCSRPooled"]
+	if !ok {
+		t.Fatalf("pooled bench not parsed (suffix not stripped?): %v", got)
+	}
+	if r.NsPerOp != 983124 || r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r2 := got["BenchmarkNoMem"]; r2.NsPerOp != 12345 || r2.AllocsOp != nil {
+		t.Fatalf("parsed %+v", r2)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(got))
+	}
+}
+
+func TestParseFileJSONAndText(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(jsonPath, []byte(`[
+  {"name": "BenchmarkA-8", "iterations": 10, "ns_per_op": 100.5, "allocs_per_op": 0}
+]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := parseFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := base["BenchmarkA"]; !ok || r.NsPerOp != 100.5 || *r.AllocsOp != 0 {
+		t.Fatalf("json parse: %+v", base)
+	}
+
+	txtPath := filepath.Join(dir, "fresh.txt")
+	if err := os.WriteFile(txtPath, []byte("BenchmarkA-4  20  99 ns/op  0 B/op  0 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := parseFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := failures(compare(base, fresh, 0.25, true)); len(fails) != 0 {
+		t.Fatalf("cross-format compare failed: %q", fails)
+	}
+}

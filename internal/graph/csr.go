@@ -1,5 +1,12 @@
 package graph
 
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"slices"
+)
+
 // CSR is an immutable compressed-sparse-row snapshot of a Graph: every
 // half-edge of node u lives in the contiguous range
 // [rowStart[u], rowStart[u+1]), with the neighbour id, the originating
@@ -8,10 +15,24 @@ package graph
 // of one per adjacency list) and safe for concurrent use: all traversal
 // kernels take a caller-owned Workspace and never mutate the CSR.
 //
+// Indices are explicit int32: a snapshot holds at most MaxCSRNodes nodes
+// and MaxCSRHalfEdges half-edges (directed edge slots), which Freeze
+// guards with a documented panic. That bounds a 10^7-node, 3x10^7-edge
+// snapshot to ~1 GB and keeps the hot arrays half the width of int64.
+//
 // Freeze a graph once, then fan any number of Dijkstra/BFS/eccentricity
 // calls out across goroutines, each with its own pooled Workspace. This is
 // the compute substrate under internal/routing, internal/metrics and
 // internal/robust.
+//
+// Shortest-path-tree determinism contract: for both BFS and Dijkstra,
+// whenever several parents are tie-optimal the kernels resolve the tie
+// the same documented way — Parent[v] is the smallest-id neighbour u
+// achieving the optimal distance to v (and ParentEdge[v] the smallest
+// edge id among parallel (u,v) edges on a weight tie). The rule is a
+// property of the graph alone, not of traversal order, so the
+// direction-optimizing BFS, the bucketed Dijkstra, and the reference
+// kernels (BFSTopDown, DijkstraHeap) all produce bit-identical trees.
 type CSR struct {
 	n        int
 	m        int
@@ -19,12 +40,47 @@ type CSR struct {
 	nbr      []int32
 	edgeID   []int32
 	weight   []float64
+
+	// bfsNbr mirrors nbr with each row sorted ascending by neighbour id.
+	// The BFS kernels traverse it instead of nbr: the bottom-up step can
+	// then claim a node at its first frontier neighbour and still honour
+	// the smallest-id parent contract, and the sorted rows scan with
+	// fewer cache-line switches on id-clustered generators.
+	bfsNbr []int32
+
+	// minW/maxW summarize the weight range (0/0 for edgeless snapshots);
+	// bucketOK records whether the bucketed Dijkstra applies: weights
+	// all finite, non-negative, not NaN, with maxW > 0.
+	minW, maxW float64
+	bucketOK   bool
+}
+
+// Limits of the int32 CSR index space. One id (^int32(0) territory) is
+// kept out of range so sentinel values like -1 never collide.
+const (
+	MaxCSRNodes     = math.MaxInt32 - 1
+	MaxCSRHalfEdges = math.MaxInt32 - 1
+)
+
+// checkCSRBounds panics when a graph shape exceeds the int32 CSR index
+// space. Kept as a separate function so the guard is testable without
+// materializing a 2^31-node graph.
+func checkCSRBounds(nodes, edges int) {
+	if nodes > MaxCSRNodes {
+		panic(fmt.Sprintf("graph: Freeze: %d nodes exceed the int32 CSR index range (max %d)", nodes, MaxCSRNodes))
+	}
+	if edges > MaxCSRHalfEdges/2 {
+		panic(fmt.Sprintf("graph: Freeze: %d edges (%d half-edges) exceed the int32 CSR index range (max %d)", edges, 2*edges, MaxCSRHalfEdges))
+	}
 }
 
 // Freeze builds a CSR snapshot of g. Later mutations of g (new nodes,
-// edges, or weight updates) are not reflected in the snapshot.
+// edges, or weight updates) are not reflected in the snapshot. Graphs
+// beyond the int32 index space (MaxCSRNodes nodes or MaxCSRHalfEdges/2
+// edges) panic with a documented message.
 func (g *Graph) Freeze() *CSR {
 	n := len(g.nodes)
+	checkCSRBounds(n, len(g.edges))
 	c := &CSR{
 		n:        n,
 		m:        len(g.edges),
@@ -44,6 +100,30 @@ func (g *Graph) Freeze() *CSR {
 		}
 	}
 	c.rowStart[n] = pos
+
+	c.bfsNbr = append([]int32(nil), c.nbr...)
+	for u := 0; u < n; u++ {
+		slices.Sort(c.bfsNbr[c.rowStart[u]:c.rowStart[u+1]])
+	}
+
+	c.minW, c.maxW = math.Inf(1), math.Inf(-1)
+	ok := true
+	for _, w := range c.weight {
+		if math.IsNaN(w) {
+			ok = false
+			break
+		}
+		if w < c.minW {
+			c.minW = w
+		}
+		if w > c.maxW {
+			c.maxW = w
+		}
+	}
+	if len(c.weight) == 0 {
+		c.minW, c.maxW = 0, 0
+	}
+	c.bucketOK = ok && c.minW >= 0 && c.maxW > 0 && !math.IsInf(c.maxW, 1)
 	return c
 }
 
@@ -66,10 +146,29 @@ func (c *CSR) Neighbors(u int, fn func(v, edgeID int, w float64)) {
 
 // Dijkstra computes single-source shortest paths by edge weight from src
 // into ws.Dist (Inf if unreachable), ws.Parent and ws.ParentEdge (-1 for
-// src/unreachable). It allocates nothing once ws has warmed up; the heap
-// is a lazy binary heap over ws-owned parallel arrays. Negative edge
-// weights panic, matching Graph.Dijkstra.
+// src/unreachable), resolving ties by the smallest-id parent contract
+// documented on CSR. It allocates nothing once ws has warmed up.
+//
+// When the snapshot's weights are finite and non-negative the kernel is
+// a bucketed (delta-stepping style) monotone priority queue — the
+// routing fan-out's uniform-ish Euclidean weights settle in O(m + B)
+// with no per-relaxation log factor; otherwise it falls back to
+// DijkstraHeap, which preserves the historical lazy panic on reaching a
+// negative edge.
 func (c *CSR) Dijkstra(ws *Workspace, src int) {
+	if c.bucketOK {
+		c.dijkstraBucket(ws, src)
+		return
+	}
+	c.DijkstraHeap(ws, src)
+}
+
+// DijkstraHeap is the reference shortest-path kernel: a lazy binary heap
+// over ws-owned parallel arrays. It produces bit-identical results to
+// the bucketed kernel behind Dijkstra and is kept exported for parity
+// tests and for snapshots whose weights disqualify bucketing. Negative
+// edge weights panic when reached, matching Graph.Dijkstra.
+func (c *CSR) DijkstraHeap(ws *Workspace, src int) {
 	ws.Reserve(c.n)
 	dist := ws.Dist[:c.n]
 	parent := ws.Parent[:c.n]
@@ -103,16 +202,151 @@ func (c *CSR) Dijkstra(ws *Workspace, src int) {
 				parent[v] = u
 				parentEdge[v] = c.edgeID[j]
 				hn, hd = heapPush(hn, hd, v, nd)
+			} else if nd == dist[v] && betterParent(u, c.edgeID[j], parent[v], parentEdge[v]) {
+				parent[v] = u
+				parentEdge[v] = c.edgeID[j]
 			}
 		}
 	}
 	ws.heapNode, ws.heapDist = hn, hd
 }
 
+// bucketSpan is the number of delta-width buckets spanning [0, maxW]:
+// the bucket width is maxW/bucketSpan, so one relaxation can jump at
+// most bucketSpan+1 buckets ahead and a circular array of
+// nBuckets = bucketSpan+2 slots always separates live windows.
+const (
+	bucketSpan = 64
+	nBuckets   = bucketSpan + 2
+)
+
+// dijkstraBucket is the bucketed monotone-priority-queue kernel behind
+// Dijkstra. Tentative distances are binned into delta-width buckets
+// processed in increasing order. Buckets are intrusive doubly-linked
+// lists over ws-owned arrays, so each node holds at most one live entry:
+// a distance improvement moves the node to its new bucket (a decrease-key)
+// rather than enqueueing a stale duplicate, and re-relaxation within the
+// current window re-inserts an already-dequeued node. The structure is
+// therefore bounded by n and allocates nothing after ws.Reserve. Only
+// applicable when c.bucketOK.
+func (c *CSR) dijkstraBucket(ws *Workspace, src int) {
+	ws.Reserve(c.n)
+	dist := ws.Dist[:c.n]
+	parent := ws.Parent[:c.n]
+	parentEdge := ws.ParentEdge[:c.n]
+	bNext := ws.bktNext[:c.n]
+	bPrev := ws.bktPrev[:c.n]
+	bOf := ws.bktOf[:c.n]
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+		parentEdge[i] = -1
+		bOf[i] = -1
+	}
+	if c.n == 0 {
+		return
+	}
+	head := &ws.bktHead
+	for i := range head {
+		head[i] = -1
+	}
+	delta := c.maxW / bucketSpan
+	dist[src] = 0
+	bOf[src] = 0
+	bPrev[src] = -1
+	bNext[src] = -1
+	head[0] = int32(src)
+	live := 1
+	for k := 0; live > 0; k++ {
+		s := k % nBuckets
+		for head[s] >= 0 {
+			u := head[s]
+			head[s] = bNext[u]
+			if bNext[u] >= 0 {
+				bPrev[bNext[u]] = -1
+			}
+			bOf[u] = -1
+			live--
+			du := dist[u]
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				v := c.nbr[j]
+				if nd := du + c.weight[j]; nd < dist[v] {
+					dist[v] = nd
+					parent[v] = u
+					parentEdge[v] = c.edgeID[j]
+					t := int32(int(nd/delta) % nBuckets)
+					if bOf[v] == t {
+						continue // queued in the right bucket already
+					}
+					if bOf[v] >= 0 { // decrease-key: unlink from old bucket
+						if bPrev[v] >= 0 {
+							bNext[bPrev[v]] = bNext[v]
+						} else {
+							head[bOf[v]] = bNext[v]
+						}
+						if bNext[v] >= 0 {
+							bPrev[bNext[v]] = bPrev[v]
+						}
+					} else {
+						live++
+					}
+					bOf[v] = t
+					bPrev[v] = -1
+					bNext[v] = head[t]
+					if head[t] >= 0 {
+						bPrev[head[t]] = v
+					}
+					head[t] = v
+				} else if nd == dist[v] && betterParent(u, c.edgeID[j], parent[v], parentEdge[v]) {
+					parent[v] = u
+					parentEdge[v] = c.edgeID[j]
+				}
+			}
+		}
+	}
+}
+
+// betterParent applies the smallest-id tie-break: candidate (u, e)
+// replaces the current (p, pe) when it is lexicographically smaller.
+func betterParent(u, e, p, pe int32) bool {
+	return u < p || (u == p && e < pe)
+}
+
+// Direction-optimizing BFS switching thresholds (Beamer et al.): switch
+// top-down -> bottom-up when the frontier's half-edges exceed the
+// unexplored half-edges / bfsAlpha, and bottom-up -> top-down when the
+// frontier shrinks below n / bfsBeta nodes.
+const (
+	bfsAlpha = 14
+	bfsBeta  = 24
+)
+
 // BFS computes hop distances from src into ws.Hop (-1 if unreachable) and
-// BFS parents into ws.Parent (-1 for src/unreachable). Allocation-free
-// once ws has warmed up.
+// BFS parents into ws.Parent (-1 for src/unreachable; otherwise the
+// smallest-id neighbour one hop closer, per the CSR tie-break contract).
+// Allocation-free once ws has warmed up.
+//
+// The kernel is direction-optimizing: levels run top-down over a compact
+// queue until the frontier grows dense, then bottom-up over the dense
+// bitset frontier in ws (each unvisited node scans its own sorted row and
+// claims its first in-frontier neighbour), switching back when the
+// frontier thins. On low-diameter power-law graphs the bottom-up levels
+// examine a small fraction of the edges a top-down sweep would.
 func (c *CSR) BFS(ws *Workspace, src int) {
+	c.bfs(ws, src, bfsAlpha, bfsBeta)
+}
+
+// BFSTopDown is the reference BFS kernel: plain level-synchronous
+// top-down traversal with no direction switching. It produces
+// bit-identical results to BFS and is kept exported for parity tests and
+// benchmarks.
+func (c *CSR) BFSTopDown(ws *Workspace, src int) {
+	c.bfs(ws, src, 0, 0)
+}
+
+// bfs is the shared level-synchronous traversal; alpha <= 0 disables
+// direction switching (pure top-down).
+func (c *CSR) bfs(ws *Workspace, src int, alpha, beta int) {
 	ws.Reserve(c.n)
 	hop := ws.Hop[:c.n]
 	parent := ws.Parent[:c.n]
@@ -120,22 +354,90 @@ func (c *CSR) BFS(ws *Workspace, src int) {
 		hop[i] = -1
 		parent[i] = -1
 	}
+	ws.BFSBottomUpLevels = 0
 	if c.n == 0 {
 		return
 	}
-	queue := ws.queue[:0]
 	hop[src] = 0
+	queue := ws.queue[:0]
 	queue = append(queue, int32(src))
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
-			v := c.nbr[j]
-			if hop[v] == -1 {
-				hop[v] = hop[u] + 1
-				parent[v] = u
-				queue = append(queue, v)
+	lo, hi := 0, 1
+	nf := 1               // nodes in the current frontier
+	mf := c.Degree(src)   // half-edges out of the current frontier
+	mu := len(c.nbr) - mf // half-edges out of still-unvisited nodes
+	bottomUp := false
+	words := (c.n + 63) / 64
+	front := ws.front[:words]
+	next := ws.next[:words]
+	for level := int32(0); nf > 0; level++ {
+		if alpha > 0 {
+			if !bottomUp && mf*alpha > mu {
+				// Densify: materialize the queue level as a bitset.
+				for i := range front {
+					front[i] = 0
+				}
+				for _, u := range queue[lo:hi] {
+					front[u>>6] |= 1 << (uint(u) & 63)
+				}
+				bottomUp = true
+			} else if bottomUp && nf*beta < c.n {
+				// Sparsify: rebuild the queue from the bitset, ascending.
+				queue = queue[:0]
+				for wi, w := range front {
+					for w != 0 {
+						queue = append(queue, int32(wi<<6+bits.TrailingZeros64(w)))
+						w &= w - 1
+					}
+				}
+				lo, hi = 0, len(queue)
+				bottomUp = false
 			}
 		}
+		nfNext, mfNext := 0, 0
+		if bottomUp {
+			ws.BFSBottomUpLevels++
+			for i := range next {
+				next[i] = 0
+			}
+			for v := 0; v < c.n; v++ {
+				if hop[v] >= 0 {
+					continue
+				}
+				for j := c.rowStart[v]; j < c.rowStart[v+1]; j++ {
+					u := c.bfsNbr[j]
+					if front[u>>6]&(1<<(uint(u)&63)) != 0 {
+						// Sorted row: the first in-frontier neighbour is
+						// the smallest-id one, honouring the contract.
+						hop[v] = level + 1
+						parent[v] = u
+						next[v>>6] |= 1 << (uint(v) & 63)
+						nfNext++
+						mfNext += int(c.rowStart[v+1] - c.rowStart[v])
+						break
+					}
+				}
+			}
+			front, next = next, front
+		} else {
+			for i := lo; i < hi; i++ {
+				u := queue[i]
+				for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+					v := c.bfsNbr[j]
+					if hop[v] < 0 {
+						hop[v] = level + 1
+						parent[v] = u
+						queue = append(queue, v)
+						mfNext += int(c.rowStart[v+1] - c.rowStart[v])
+					} else if hop[v] == level+1 && u < parent[v] {
+						parent[v] = u
+					}
+				}
+			}
+			lo, hi = hi, len(queue)
+			nfNext = hi - lo
+		}
+		nf, mf = nfNext, mfNext
+		mu -= mf
 	}
 	ws.queue = queue
 }

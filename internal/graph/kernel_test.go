@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// forceBottomUp are bfs switching parameters that push the traversal
+// bottom-up at the first level and keep it there: a huge alpha makes
+// mf*alpha > mu immediately, and the same huge beta keeps nf*beta >= n.
+const forceBottomUp = 1 << 20
+
+// weightedTestGraph builds graphs across the weight regimes that select
+// between the bucketed and heap Dijkstra kernels.
+func weightedTestGraph(n, extraEdges int, seed int64, weight func(r *rand.Rand) float64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{X: r.Float64(), Y: r.Float64()})
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(Edge{U: i, V: r.Intn(i), Weight: weight(r), Cable: -1})
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(Edge{U: u, V: v, Weight: weight(r), Cable: -1})
+	}
+	return g
+}
+
+func checkBFSEqual(t *testing.T, label string, n int, ref, got *Workspace) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		if ref.Hop[v] != got.Hop[v] {
+			t.Fatalf("%s: hop[%d] = %d, reference %d", label, v, got.Hop[v], ref.Hop[v])
+		}
+		if ref.Parent[v] != got.Parent[v] {
+			t.Fatalf("%s: parent[%d] = %d, reference %d (hop %d)", label, v, got.Parent[v], ref.Parent[v], ref.Hop[v])
+		}
+	}
+}
+
+// TestBFSDirectionSwitchingParity pins every switching regime of the
+// direction-optimizing BFS — pure top-down, forced all-bottom-up, an
+// aggressive mixed schedule, and the default thresholds — bit-for-bit to
+// the reference kernel, on every source of several random graphs.
+func TestBFSDirectionSwitchingParity(t *testing.T) {
+	regimes := []struct {
+		name        string
+		alpha, beta int
+		wantBottom  bool
+	}{
+		{"bottom-up", forceBottomUp, forceBottomUp, true},
+		{"mixed", 2, 4, true},
+		{"default", bfsAlpha, bfsBeta, false}, // bottom-up engagement depends on shape
+	}
+	for _, seed := range []int64{1, 2} {
+		g := randomTestGraph(300, 700, seed)
+		c := g.Freeze()
+		ref := NewWorkspace(c.NumNodes())
+		ws := NewWorkspace(c.NumNodes())
+		for src := 0; src < c.NumNodes(); src += 13 {
+			c.BFSTopDown(ref, src)
+			if ref.BFSBottomUpLevels != 0 {
+				t.Fatalf("BFSTopDown reports %d bottom-up levels", ref.BFSBottomUpLevels)
+			}
+			for _, reg := range regimes {
+				c.bfs(ws, src, reg.alpha, reg.beta)
+				if reg.wantBottom && ws.BFSBottomUpLevels == 0 {
+					t.Fatalf("seed %d src %d regime %s: no bottom-up level ran", seed, src, reg.name)
+				}
+				checkBFSEqual(t, reg.name, c.NumNodes(), ref, ws)
+			}
+			c.BFS(ws, src)
+			checkBFSEqual(t, "exported", c.NumNodes(), ref, ws)
+		}
+	}
+}
+
+// TestBFSParentMinIDContract checks the documented tie-break directly:
+// Parent[v] must be the smallest-id neighbour one hop closer to the
+// source, independent of which kernel or direction produced it.
+func TestBFSParentMinIDContract(t *testing.T) {
+	g := randomTestGraph(200, 500, 3)
+	c := g.Freeze()
+	n := c.NumNodes()
+	ws := NewWorkspace(n)
+	for _, kernel := range []struct {
+		name string
+		run  func(src int)
+	}{
+		{"top-down", func(src int) { c.BFSTopDown(ws, src) }},
+		{"bottom-up", func(src int) { c.bfs(ws, src, forceBottomUp, forceBottomUp) }},
+		{"dir-opt", func(src int) { c.BFS(ws, src) }},
+	} {
+		for src := 0; src < n; src += 17 {
+			kernel.run(src)
+			for v := 0; v < n; v++ {
+				if ws.Hop[v] <= 0 {
+					continue
+				}
+				want := int32(-1)
+				c.Neighbors(v, func(u, _ int, _ float64) {
+					if ws.Hop[u] == ws.Hop[v]-1 && (want < 0 || int32(u) < want) {
+						want = int32(u)
+					}
+				})
+				if ws.Parent[v] != want {
+					t.Fatalf("%s src %d: parent[%d] = %d, want min-id %d", kernel.name, src, v, ws.Parent[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraBucketMatchesHeap pins the bucketed kernel bit-for-bit to
+// the heap reference — distances, parents, and parent edges — across
+// weight regimes that stress bucket binning: generic uniform, unit
+// weights (all entries land in one bucket edge), a few exact zero
+// weights (same-bucket re-relaxation), tiny weights against one huge
+// outlier (everything bins into bucket 0), and heavy parallel edges
+// (edge-id tie-breaks).
+func TestDijkstraBucketMatchesHeap(t *testing.T) {
+	regimes := []struct {
+		name   string
+		weight func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return 0.1 + r.Float64() }},
+		{"unit", func(*rand.Rand) float64 { return 1 }},
+		{"sparse-zeros", func(r *rand.Rand) float64 {
+			if r.Intn(4) == 0 {
+				return 0
+			}
+			return r.Float64()
+		}},
+		{"huge-outlier", func(r *rand.Rand) float64 {
+			if r.Intn(64) == 0 {
+				return 1e9
+			}
+			return 1e-6 * (1 + r.Float64())
+		}},
+	}
+	for _, reg := range regimes {
+		for _, seed := range []int64{1, 2} {
+			g := weightedTestGraph(150, 400, seed, reg.weight)
+			// Parallel edges with distinct weights and ids between the same
+			// endpoints, to exercise the (parent, edge) tie-break.
+			r := rand.New(rand.NewSource(seed + 100))
+			for k := 0; k < 60; k++ {
+				u, v := r.Intn(150), r.Intn(150)
+				if u == v {
+					continue
+				}
+				g.AddEdge(Edge{U: u, V: v, Weight: reg.weight(r), Cable: -1})
+			}
+			c := g.Freeze()
+			if !c.bucketOK {
+				t.Fatalf("regime %s: expected bucketOK snapshot", reg.name)
+			}
+			ref := NewWorkspace(c.NumNodes())
+			ws := NewWorkspace(c.NumNodes())
+			for src := 0; src < c.NumNodes(); src += 11 {
+				c.DijkstraHeap(ref, src)
+				c.dijkstraBucket(ws, src)
+				for v := 0; v < c.NumNodes(); v++ {
+					if ref.Dist[v] != ws.Dist[v] {
+						t.Fatalf("regime %s seed %d src %d: dist[%d] = %v bucket vs %v heap", reg.name, seed, src, v, ws.Dist[v], ref.Dist[v])
+					}
+					if ref.Parent[v] != ws.Parent[v] || ref.ParentEdge[v] != ws.ParentEdge[v] {
+						t.Fatalf("regime %s seed %d src %d: tree at %d = (%d,%d) bucket vs (%d,%d) heap",
+							reg.name, seed, src, v, ws.Parent[v], ws.ParentEdge[v], ref.Parent[v], ref.ParentEdge[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraBucketGate pins the Freeze-time bucketOK classification:
+// snapshots whose weights cannot be binned (all zero, an infinite
+// weight, a NaN, a negative weight, or no edges at all) must fall back
+// to the heap kernel, and Dijkstra must still terminate on them.
+func TestDijkstraBucketGate(t *testing.T) {
+	mk := func(ws ...float64) *CSR {
+		g := New(len(ws) + 1)
+		for i := 0; i <= len(ws); i++ {
+			g.AddNode(Node{})
+		}
+		for i, w := range ws {
+			g.AddEdge(Edge{U: i, V: i + 1, Weight: w, Cable: -1})
+		}
+		return g.Freeze()
+	}
+	cases := []struct {
+		name string
+		c    *CSR
+		ok   bool
+	}{
+		{"positive", mk(1, 2, 0.5), true},
+		{"with-zero", mk(0, 1), true},
+		{"all-zero", mk(0, 0), false},
+		{"edgeless", mk(), false},
+		{"inf", mk(1, math.Inf(1)), false},
+		{"nan", mk(1, math.NaN()), false},
+		{"negative", mk(1, -1), false},
+	}
+	for _, tc := range cases {
+		if tc.c.bucketOK != tc.ok {
+			t.Fatalf("%s: bucketOK = %v, want %v", tc.name, tc.c.bucketOK, tc.ok)
+		}
+	}
+	// The fallback still terminates and matches the heap on the
+	// non-negative disqualified shapes.
+	for _, tc := range cases[2:6] {
+		if tc.name == "negative" {
+			continue
+		}
+		ws := NewWorkspace(tc.c.NumNodes())
+		ref := NewWorkspace(tc.c.NumNodes())
+		tc.c.Dijkstra(ws, 0)
+		tc.c.DijkstraHeap(ref, 0)
+		for v := 0; v < tc.c.NumNodes(); v++ {
+			same := ref.Dist[v] == ws.Dist[v] ||
+				(math.IsNaN(ref.Dist[v]) && math.IsNaN(ws.Dist[v]))
+			if !same {
+				t.Fatalf("%s: fallback dist[%d] = %v, heap %v", tc.name, v, ws.Dist[v], ref.Dist[v])
+			}
+		}
+	}
+}
+
+// TestCheckCSRBoundsPanics pins the documented int32 overflow guard at
+// Freeze without materializing a 2^31-node graph.
+func TestCheckCSRBoundsPanics(t *testing.T) {
+	mustPanic := func(name, wantSub string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: guard did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSub) {
+				t.Fatalf("%s: panic %v does not mention %q", name, r, wantSub)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nodes", "nodes exceed", func() { checkCSRBounds(MaxCSRNodes+1, 0) })
+	mustPanic("edges", "half-edges) exceed", func() { checkCSRBounds(10, MaxCSRHalfEdges/2+1) })
+	checkCSRBounds(MaxCSRNodes, MaxCSRHalfEdges/2) // at the limit: no panic
+	checkCSRBounds(0, 0)
+}
+
+// TestReserveIndependentCapacities is the regression test for the
+// partial-growth hazard: a workspace whose Dist is already large but
+// whose other buffers are short must still have every buffer grown.
+func TestReserveIndependentCapacities(t *testing.T) {
+	ws := &Workspace{Dist: make([]float64, 512)}
+	ws.Reserve(512)
+	if cap(ws.Hop) < 512 || cap(ws.Parent) < 512 || cap(ws.ParentEdge) < 512 {
+		t.Fatalf("output buffers not grown: hop %d parent %d parentEdge %d", cap(ws.Hop), cap(ws.Parent), cap(ws.ParentEdge))
+	}
+	if cap(ws.queue) < 512 || cap(ws.heapNode) < 512 || cap(ws.heapDist) < 512 {
+		t.Fatalf("scratch buffers not grown: queue %d heapNode %d heapDist %d", cap(ws.queue), cap(ws.heapNode), cap(ws.heapDist))
+	}
+	if len(ws.visited) < 512 {
+		t.Fatalf("visited not grown: %d", len(ws.visited))
+	}
+	words := (512 + 63) / 64
+	if len(ws.front) < words || len(ws.next) < words {
+		t.Fatalf("bitsets not grown: front %d next %d (want >= %d words)", len(ws.front), len(ws.next), words)
+	}
+	// A grown-then-regrown workspace keeps epochs safe: stale visited
+	// stamps never alias a fresh epoch.
+	g := randomTestGraph(40, 20, 12)
+	c := g.Freeze()
+	removed := make([]bool, 40)
+	a := c.LargestComponentMasked(ws, removed)
+	ws.Reserve(2048)
+	b := c.LargestComponentMasked(ws, removed)
+	if a != b {
+		t.Fatalf("LCC changed across Reserve growth: %d vs %d", a, b)
+	}
+}
+
+// TestFreezeBFSNbrSorted checks the sorted BFS adjacency mirror: each
+// row ascending, and a permutation of the insertion-ordered row.
+func TestFreezeBFSNbrSorted(t *testing.T) {
+	g := randomTestGraph(80, 300, 13)
+	c := g.Freeze()
+	for u := 0; u < c.NumNodes(); u++ {
+		row := c.bfsNbr[c.rowStart[u]:c.rowStart[u+1]]
+		if !slices.IsSorted(row) {
+			t.Fatalf("bfsNbr row %d not sorted: %v", u, row)
+		}
+		want := append([]int32(nil), c.nbr[c.rowStart[u]:c.rowStart[u+1]]...)
+		slices.Sort(want)
+		if !slices.Equal(row, want) {
+			t.Fatalf("bfsNbr row %d is not a permutation of nbr: %v vs %v", u, row, want)
+		}
+	}
+}
+
+// TestBFSSmallShapes runs every kernel over degenerate shapes — empty,
+// single node, disconnected pair — under forced bottom-up parameters.
+func TestBFSSmallShapes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5} {
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(Node{})
+		}
+		if n >= 4 {
+			g.AddEdge(Edge{U: 0, V: 1, Weight: 1, Cable: -1})
+			g.AddEdge(Edge{U: 2, V: 3, Weight: 1, Cable: -1})
+		}
+		c := g.Freeze()
+		ws := NewWorkspace(n)
+		ref := NewWorkspace(n)
+		for src := 0; src < n; src++ {
+			c.BFSTopDown(ref, src)
+			c.bfs(ws, src, forceBottomUp, forceBottomUp)
+			checkBFSEqual(t, "small", n, ref, ws)
+			c.Dijkstra(ws, src)
+			c.DijkstraHeap(ref, src)
+			for v := 0; v < n; v++ {
+				if ws.Dist[v] != ref.Dist[v] {
+					t.Fatalf("n=%d src=%d: dist[%d] = %v vs %v", n, src, v, ws.Dist[v], ref.Dist[v])
+				}
+			}
+		}
+	}
+}

@@ -102,13 +102,18 @@ func (g *Graph) WeightedEccentricity(src int) float64 {
 }
 
 // AverageWeightedDistance returns the mean weighted shortest-path distance
-// over connected ordered pairs. O(n * m log n).
+// over connected ordered pairs, from one freeze and n pooled-workspace
+// shortest-path sweeps — no per-source allocation.
 func (g *Graph) AverageWeightedDistance() (float64, int) {
+	c := g.Freeze()
+	n := c.NumNodes()
+	ws := GetWorkspace(n)
+	defer ws.Release()
 	total := 0.0
 	pairs := 0
-	for u := 0; u < g.NumNodes(); u++ {
-		dist, _, _ := g.Dijkstra(u)
-		for v, d := range dist {
+	for u := 0; u < n; u++ {
+		c.Dijkstra(ws, u)
+		for v, d := range ws.Dist[:n] {
 			if v != u && !math.IsInf(d, 1) {
 				total += d
 				pairs++

@@ -119,25 +119,26 @@ func (g *Graph) IsForest() bool {
 }
 
 // Eccentricity returns the maximum hop distance from src to any reachable
-// node.
+// node. It runs on a freshly frozen snapshot with a pooled workspace; for
+// many-source loops freeze once and call CSR.Eccentricity directly.
 func (g *Graph) Eccentricity(src int) int {
-	dist, _ := g.BFS(src)
-	max := 0
-	for _, d := range dist {
-		if d > max {
-			max = d
-		}
-	}
-	return max
+	c := g.Freeze()
+	ws := GetWorkspace(c.NumNodes())
+	defer ws.Release()
+	return c.Eccentricity(ws, src)
 }
 
 // HopDiameter returns the largest hop eccentricity across nodes, computed
-// exactly. O(n * (n + m)); fine for the experiment sizes in this repo.
-// Disconnected pairs are ignored. Returns 0 for graphs with < 2 nodes.
+// exactly: one freeze, then n pooled-workspace BFS sweeps — O(n * (n + m))
+// time with O(n) scratch, no per-source allocation. Disconnected pairs
+// are ignored. Returns 0 for graphs with < 2 nodes.
 func (g *Graph) HopDiameter() int {
+	c := g.Freeze()
+	ws := GetWorkspace(c.NumNodes())
+	defer ws.Release()
 	max := 0
-	for u := 0; u < g.NumNodes(); u++ {
-		if e := g.Eccentricity(u); e > max {
+	for u := 0; u < c.NumNodes(); u++ {
+		if e := c.Eccentricity(ws, u); e > max {
 			max = e
 		}
 	}
@@ -145,16 +146,21 @@ func (g *Graph) HopDiameter() int {
 }
 
 // AverageHopDistance returns the mean hop distance over all connected
-// ordered pairs, and the number of such pairs. Returns (0, 0) when no two
-// nodes are connected.
+// ordered pairs, and the number of such pairs, from one freeze and n
+// pooled-workspace BFS sweeps. Returns (0, 0) when no two nodes are
+// connected.
 func (g *Graph) AverageHopDistance() (float64, int) {
+	c := g.Freeze()
+	n := c.NumNodes()
+	ws := GetWorkspace(n)
+	defer ws.Release()
 	total := 0
 	pairs := 0
-	for u := 0; u < g.NumNodes(); u++ {
-		dist, _ := g.BFS(u)
-		for v, d := range dist {
+	for u := 0; u < n; u++ {
+		c.BFS(ws, u)
+		for v, d := range ws.Hop[:n] {
 			if v != u && d > 0 {
-				total += d
+				total += int(d)
 				pairs++
 			}
 		}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// Verbatim copies of the pre-kernelization traversal helpers (one
+// allocating BFS/Dijkstra per source, no CSR, no workspace pooling).
+// The exported methods now freeze once and sweep pooled kernels; these
+// references pin their results.
+
+func legacyEccentricity(g *Graph, src int) int {
+	dist, _ := g.BFS(src)
+	max := 0
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func legacyHopDiameter(g *Graph) int {
+	max := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if e := legacyEccentricity(g, u); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+func legacyAverageHopDistance(g *Graph) (float64, int) {
+	total := 0
+	pairs := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		dist, _ := g.BFS(u)
+		for v, d := range dist {
+			if v != u && d > 0 {
+				total += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(total) / float64(pairs), pairs
+}
+
+func legacyAverageWeightedDistance(g *Graph) (float64, int) {
+	total := 0.0
+	pairs := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		dist, _, _ := g.Dijkstra(u)
+		for v, d := range dist {
+			if v != u && !math.IsInf(d, 1) {
+				total += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return total / float64(pairs), pairs
+}
+
+// TestKernelizedTraversalsMatchLegacy pins the freeze-once pooled
+// implementations of Eccentricity, HopDiameter, AverageHopDistance and
+// AverageWeightedDistance to the original per-source allocating
+// versions, on connected, disconnected, and degenerate graphs.
+func TestKernelizedTraversalsMatchLegacy(t *testing.T) {
+	graphs := map[string]*Graph{
+		"connected":    randomTestGraph(90, 150, 21),
+		"empty":        New(0),
+		"single":       New(1),
+		"disconnected": New(9),
+	}
+	graphs["single"].AddNode(Node{})
+	dg := graphs["disconnected"]
+	for i := 0; i < 9; i++ {
+		dg.AddNode(Node{})
+	}
+	// Two components of different diameters plus an isolated node.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}} {
+		dg.AddEdge(Edge{U: e[0], V: e[1], Weight: float64(e[0]) + 0.5, Cable: -1})
+	}
+
+	for name, g := range graphs {
+		if got, want := g.HopDiameter(), legacyHopDiameter(g); got != want {
+			t.Fatalf("%s: HopDiameter = %d, legacy %d", name, got, want)
+		}
+		gotAvg, gotPairs := g.AverageHopDistance()
+		wantAvg, wantPairs := legacyAverageHopDistance(g)
+		if gotAvg != wantAvg || gotPairs != wantPairs {
+			t.Fatalf("%s: AverageHopDistance = (%v, %d), legacy (%v, %d)", name, gotAvg, gotPairs, wantAvg, wantPairs)
+		}
+		gotW, gotWP := g.AverageWeightedDistance()
+		wantW, wantWP := legacyAverageWeightedDistance(g)
+		if gotW != wantW || gotWP != wantWP {
+			t.Fatalf("%s: AverageWeightedDistance = (%v, %d), legacy (%v, %d)", name, gotW, gotWP, wantW, wantWP)
+		}
+		for src := 0; src < g.NumNodes(); src++ {
+			if got, want := g.Eccentricity(src), legacyEccentricity(g, src); got != want {
+				t.Fatalf("%s: Eccentricity(%d) = %d, legacy %d", name, src, got, want)
+			}
+		}
+	}
+}

@@ -3,10 +3,11 @@ package graph
 import "sync"
 
 // Workspace owns every scratch buffer a traversal kernel needs: weighted
-// and hop distances, shortest-path-tree parents, the Dijkstra heap, the
-// BFS queue, and an epoch-stamped visited array. One Workspace serves one
-// goroutine at a time; a sync.Pool (GetWorkspace / Release) recycles them
-// so multi-source sweeps run allocation-free after warmup.
+// and hop distances, shortest-path-tree parents, the Dijkstra heap and
+// distance buckets, the BFS queue and dense bitset frontiers, and an
+// epoch-stamped visited array. One Workspace serves one goroutine at a
+// time; a sync.Pool (GetWorkspace / Release) recycles them so
+// multi-source sweeps run allocation-free after warmup.
 //
 // The exported slices hold kernel outputs. After CSR.Dijkstra: Dist,
 // Parent, ParentEdge. After CSR.BFS: Hop, Parent. Their contents are valid
@@ -21,12 +22,32 @@ type Workspace struct {
 	Parent []int32
 	// ParentEdge is the edge id into the parent (-1 likewise).
 	ParentEdge []int32
+	// BFSBottomUpLevels reports how many levels of the last CSR.BFS ran
+	// bottom-up — a diagnostic for tests and benchmarks of the
+	// direction-optimizing kernel; 0 after a pure top-down traversal.
+	BFSBottomUpLevels int
 
 	heapNode []int32
 	heapDist []float64
 	queue    []int32
 	visited  []uint32
 	epoch    uint32
+
+	// front/next are the dense bitset frontiers of the
+	// direction-optimizing BFS, one bit per node.
+	front []uint64
+	next  []uint64
+
+	// bktNext/bktPrev/bktOf plus bktHead form the bucketed Dijkstra's
+	// circular monotone priority queue as intrusive doubly-linked lists:
+	// each node is in at most one bucket (bktOf[v] = slot, or -1 when
+	// dequeued), so the structure is bounded by n and never grows during
+	// a traversal — distance improvements move the node between lists
+	// instead of appending duplicate entries.
+	bktNext []int32
+	bktPrev []int32
+	bktOf   []int32
+	bktHead [nBuckets]int32
 }
 
 // NewWorkspace returns a Workspace sized for n-node graphs.
@@ -37,29 +58,63 @@ func NewWorkspace(n int) *Workspace {
 }
 
 // Reserve grows the buffers to hold n nodes. Shrinking never happens, so
-// a pooled Workspace converges to the largest graph it has served.
+// a pooled Workspace converges to the largest graph it has served. Every
+// buffer's capacity is checked independently: a caller that grew only
+// some buffers (or a future partial-growth path) can never leave another
+// kernel with a short one.
 func (ws *Workspace) Reserve(n int) {
 	if cap(ws.Dist) < n {
 		ws.Dist = make([]float64, n)
-		ws.Hop = make([]int32, n)
-		ws.Parent = make([]int32, n)
-		ws.ParentEdge = make([]int32, n)
-		ws.visited = make([]uint32, n)
-		ws.epoch = 0
-		if cap(ws.queue) < n {
-			ws.queue = make([]int32, 0, n)
-		}
-		if cap(ws.heapNode) < n {
-			ws.heapNode = make([]int32, 0, n)
-			ws.heapDist = make([]float64, 0, n)
-		}
-		return
 	}
 	ws.Dist = ws.Dist[:n]
+	if cap(ws.Hop) < n {
+		ws.Hop = make([]int32, n)
+	}
 	ws.Hop = ws.Hop[:n]
+	if cap(ws.Parent) < n {
+		ws.Parent = make([]int32, n)
+	}
 	ws.Parent = ws.Parent[:n]
+	if cap(ws.ParentEdge) < n {
+		ws.ParentEdge = make([]int32, n)
+	}
 	ws.ParentEdge = ws.ParentEdge[:n]
+	if cap(ws.visited) < n {
+		// Fresh visited stamps must not collide with a stale epoch.
+		ws.visited = make([]uint32, n)
+		ws.epoch = 0
+	}
 	ws.visited = ws.visited[:cap(ws.visited)]
+	if cap(ws.queue) < n {
+		ws.queue = make([]int32, 0, n)
+	}
+	if cap(ws.heapNode) < n {
+		ws.heapNode = make([]int32, 0, n)
+	}
+	if cap(ws.heapDist) < n {
+		ws.heapDist = make([]float64, 0, n)
+	}
+	words := (n + 63) / 64
+	if cap(ws.front) < words {
+		ws.front = make([]uint64, words)
+	}
+	ws.front = ws.front[:cap(ws.front)]
+	if cap(ws.next) < words {
+		ws.next = make([]uint64, words)
+	}
+	ws.next = ws.next[:cap(ws.next)]
+	if cap(ws.bktNext) < n {
+		ws.bktNext = make([]int32, n)
+	}
+	ws.bktNext = ws.bktNext[:n]
+	if cap(ws.bktPrev) < n {
+		ws.bktPrev = make([]int32, n)
+	}
+	ws.bktPrev = ws.bktPrev[:n]
+	if cap(ws.bktOf) < n {
+		ws.bktOf = make([]int32, n)
+	}
+	ws.bktOf = ws.bktOf[:n]
 }
 
 // nextEpoch bumps the visited stamp, clearing the visited array only on

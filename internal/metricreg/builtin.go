@@ -431,12 +431,17 @@ func (a *distortionAcc) Run(ctx context.Context, src *Source, workers int) error
 		count int
 	}
 	perSrc := make([]partial, len(srcs))
-	err := par.ForEachErr(workers, len(srcs), func(si int) error {
+	nw := par.Workers(workers, len(srcs))
+	wss := make([]*graph.Workspace, nw)
+	for w := range wss {
+		wss[w] = graph.GetWorkspace(n)
+		defer wss[w].Release()
+	}
+	err := par.ForEachWorkerErr(nw, len(srcs), func(w, si int) error {
 		if err := errs.Ctx(ctx); err != nil {
 			return err
 		}
-		ws := graph.GetWorkspace(n)
-		defer ws.Release()
+		ws := wss[w]
 		tc.BFS(ws, srcs[si])
 		p := partial{}
 		for _, v := range bySrc[srcs[si]] {

@@ -285,13 +285,20 @@ func (r *Registry) Evaluate(ctx context.Context, src *Source, set []Selection, o
 	if len(union) > 0 {
 		tasks = append(tasks, func() error {
 			c := src.CSR()
-			return par.ForEachErr(opt.Workers, len(union), func(i int) error {
+			// One pooled workspace per sweep worker: the fused sweep then
+			// runs allocation-free at any node count.
+			workers := par.Workers(opt.Workers, len(union))
+			wss := make([]*graph.Workspace, workers)
+			for w := range wss {
+				wss[w] = graph.GetWorkspace(n)
+				defer wss[w].Release()
+			}
+			return par.ForEachWorkerErr(workers, len(union), func(w, i int) error {
 				if err := errs.Ctx(ctx); err != nil {
 					return err
 				}
 				u := union[i]
-				ws := graph.GetWorkspace(n)
-				defer ws.Release()
+				ws := wss[w]
 				c.BFS(ws, u)
 				for _, sb := range bySrc[u] {
 					sb.acc.Observe(sb.slot, u, ws)

@@ -46,13 +46,25 @@ func ForEach(workers, n int, fn func(i int)) {
 // choice regardless of scheduling. Remaining indices are abandoned after
 // the first observed failure (already-started calls finish).
 func ForEachErr(workers, n int, fn func(i int) error) error {
+	return ForEachWorkerErr(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorkerErr is ForEachErr for work that wants worker-local state:
+// fn additionally receives the index w in [0, Workers(workers, n)) of
+// the goroutine running it. Calls with the same w never overlap, so
+// callers can reserve one scratch resource per worker — e.g. a pooled
+// graph.Workspace grown once to the sweep's node count — and a
+// million-node fan-out does zero steady-state allocation instead of one
+// pool round-trip per item. Results must still be reduced by item
+// index: which items share a worker is scheduling-dependent.
+func ForEachWorkerErr(workers, n int, fn func(w, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -68,6 +80,7 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 		panicked any
 	)
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -86,7 +99,7 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					mu.Lock()
 					if i < firstI {
 						firstI, firstE = i, err

@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -80,5 +81,84 @@ func TestDoRunsAll(t *testing.T) {
 	Do(0, func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
 	if !a.Load() || !b.Load() || !c.Load() {
 		t.Fatal("Do skipped a task")
+	}
+}
+
+func TestForEachWorkerErrWorkerIndexBounds(t *testing.T) {
+	const workers, n = 4, 100
+	var hits [workers]atomic.Int64
+	err := ForEachWorkerErr(workers, n, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of [0,%d)", w, workers)
+		}
+		hits[w].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := range hits {
+		total += hits[i].Load()
+	}
+	if total != n {
+		t.Fatalf("ran %d items, want %d", total, n)
+	}
+}
+
+// TestForEachWorkerErrNoOverlap asserts the per-worker serialization
+// contract: calls that share a worker index never run concurrently, so a
+// worker-indexed scratch resource needs no locking.
+func TestForEachWorkerErrNoOverlap(t *testing.T) {
+	const workers, n = 4, 200
+	var busy [workers]atomic.Bool
+	err := ForEachWorkerErr(workers, n, func(w, i int) error {
+		if !busy[w].CompareAndSwap(false, true) {
+			return fmt.Errorf("worker %d re-entered concurrently", w)
+		}
+		defer busy[w].Store(false)
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachWorkerErrSequentialFallback(t *testing.T) {
+	var order []int
+	err := ForEachWorkerErr(1, 5, func(w, i int) error {
+		if w != 0 {
+			t.Fatalf("sequential path got worker %d", w)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+}
+
+func TestForEachWorkerErrLowestError(t *testing.T) {
+	want := errors.New("lowest")
+	err := ForEachWorkerErr(4, 50, func(w, i int) error {
+		switch i {
+		case 3:
+			return want
+		case 7, 20:
+			return errors.New("higher")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) && err != nil && err.Error() != "lowest" {
+		t.Fatalf("got %v, want lowest-index error", err)
+	}
+	if err == nil {
+		t.Fatal("expected an error")
 	}
 }

@@ -83,13 +83,20 @@ func pinPaths(ctx context.Context, c *graph.CSR, demands []Demand, needEdges boo
 	// disjoint); sorting just keeps the dispatch order stable for
 	// debugging and costs O(S log S) against S Dijkstra runs.
 	sort.Ints(srcs)
-	err := par.ForEachErr(0, len(srcs), func(si int) error {
+	// One pooled workspace per worker, reserved up front: the per-source
+	// loop then allocates nothing, however many sources fan out.
+	workers := par.Workers(0, len(srcs))
+	wss := make([]*graph.Workspace, workers)
+	for w := range wss {
+		wss[w] = graph.GetWorkspace(c.NumNodes())
+		defer wss[w].Release()
+	}
+	err := par.ForEachWorkerErr(workers, len(srcs), func(w, si int) error {
 		if err := errs.Ctx(ctx); err != nil {
 			return fmt.Errorf("routing: pin paths: %w", err)
 		}
 		s := srcs[si]
-		ws := graph.GetWorkspace(c.NumNodes())
-		defer ws.Release()
+		ws := wss[w]
 		c.Dijkstra(ws, s)
 		for _, i := range bySrc[s] {
 			dst := demands[i].Dst

@@ -1,0 +1,147 @@
+package hotgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Kernel parity suite: the direction-optimizing BFS and the bucketed
+// Dijkstra must be bit-for-bit interchangeable with the reference
+// kernels (BFSTopDown, DijkstraHeap) on every topology model of the
+// repository — including masked variants, i.e. the subgraphs the
+// robustness sweeps actually traverse after an attack has removed the
+// highest-degree nodes. Run under -race -shuffle=on in CI.
+
+type parityModel struct {
+	name  string
+	build func(seed int64) (*graph.Graph, error)
+}
+
+func parityModels() []parityModel {
+	return []parityModel{
+		{"ba", func(seed int64) (*graph.Graph, error) { return gen.BarabasiAlbert(400, 2, seed) }},
+		{"er-gnm", func(seed int64) (*graph.Graph, error) { return gen.ErdosRenyiGNM(400, 900, seed) }},
+		{"waxman", func(seed int64) (*graph.Graph, error) { return gen.Waxman(300, 0.1, 0.5, seed) }},
+		{"fkp", func(seed int64) (*graph.Graph, error) { return core.FKP(core.FKPConfig{N: 300, Alpha: 8, Seed: seed}) }},
+	}
+}
+
+// degreeMask returns the ids of the ceil(frac*n) highest-degree nodes
+// (ties by id), the schedule a degree-targeted attack removes first.
+func degreeMask(g *graph.Graph, frac float64) []int {
+	n := g.NumNodes()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	deg := g.Degrees()
+	sort.Slice(ids, func(a, b int) bool {
+		if deg[ids[a]] != deg[ids[b]] {
+			return deg[ids[a]] > deg[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	k := int(math.Ceil(frac * float64(n)))
+	return append([]int(nil), ids[:k]...)
+}
+
+func checkKernelParity(t *testing.T, label string, g *graph.Graph) {
+	t.Helper()
+	c := g.Freeze()
+	n := c.NumNodes()
+	ref := graph.GetWorkspace(n)
+	defer ref.Release()
+	ws := graph.GetWorkspace(n)
+	defer ws.Release()
+	stride := n/12 + 1
+	for src := 0; src < n; src += stride {
+		c.BFSTopDown(ref, src)
+		c.BFS(ws, src)
+		refReach, reach := 0, 0
+		for v := 0; v < n; v++ {
+			if ref.Hop[v] != ws.Hop[v] {
+				t.Fatalf("%s src %d: hop[%d] = %d dir-opt vs %d top-down", label, src, v, ws.Hop[v], ref.Hop[v])
+			}
+			if ref.Parent[v] != ws.Parent[v] {
+				t.Fatalf("%s src %d: bfs parent[%d] = %d dir-opt vs %d top-down", label, src, v, ws.Parent[v], ref.Parent[v])
+			}
+			if ref.Hop[v] >= 0 {
+				refReach++
+			}
+			if ws.Hop[v] >= 0 {
+				reach++
+			}
+		}
+		if refReach != reach {
+			t.Fatalf("%s src %d: component size %d dir-opt vs %d top-down", label, src, reach, refReach)
+		}
+
+		c.DijkstraHeap(ref, src)
+		c.Dijkstra(ws, src)
+		for v := 0; v < n; v++ {
+			if ref.Dist[v] != ws.Dist[v] {
+				t.Fatalf("%s src %d: dist[%d] = %v bucketed vs %v heap", label, src, v, ws.Dist[v], ref.Dist[v])
+			}
+			if ref.Parent[v] != ws.Parent[v] || ref.ParentEdge[v] != ws.ParentEdge[v] {
+				t.Fatalf("%s src %d: sp tree at %d = (%d,%d) bucketed vs (%d,%d) heap",
+					label, src, v, ws.Parent[v], ws.ParentEdge[v], ref.Parent[v], ref.ParentEdge[v])
+			}
+		}
+	}
+}
+
+func TestKernelParityAcrossModels(t *testing.T) {
+	for _, m := range parityModels() {
+		for _, seed := range []int64{1, 2} {
+			g, err := m.build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m.name, seed, err)
+			}
+			checkKernelParity(t, m.name, g)
+
+			// Masked variant: the post-attack residual graph after the top
+			// 10% of nodes by degree are gone — typically fragmented, so
+			// this also covers multi-component traversal.
+			sub, _ := g.RemoveNodes(degreeMask(g, 0.10))
+			checkKernelParity(t, m.name+"/masked", sub)
+		}
+	}
+}
+
+// TestMaskedLCCTrajectoryMatchesSubgraphs walks a degree-attack removal
+// schedule on each model and pins the masked LCC kernel (what the
+// robustness sweeps measure) to materialized residual subgraphs.
+func TestMaskedLCCTrajectoryMatchesSubgraphs(t *testing.T) {
+	for _, m := range parityModels() {
+		g, err := m.build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		c := g.Freeze()
+		ws := graph.GetWorkspace(c.NumNodes())
+		defer ws.Release()
+		removed := make([]bool, g.NumNodes())
+		for _, frac := range []float64{0, 0.05, 0.2, 0.5} {
+			ids := degreeMask(g, frac)
+			for i := range removed {
+				removed[i] = false
+			}
+			for _, u := range ids {
+				removed[u] = true
+			}
+			sub, _ := g.RemoveNodes(ids)
+			want := 0
+			if sub.NumNodes() > 0 {
+				want = sub.LargestComponentSize()
+			}
+			if got := c.LargestComponentMasked(ws, removed); got != want {
+				t.Fatalf("%s frac %v: masked LCC %d vs subgraph %d", m.name, frac, got, want)
+			}
+		}
+	}
+}

@@ -5,6 +5,10 @@
 # Usage:
 #   scripts/bench.sh [benchtime]           # default 1x (smoke); use e.g. 5x or 1s for real numbers
 #
+# Environment:
+#   BENCH_TAGS    extra build tags, e.g. BENCH_TAGS=slowbench to include
+#                 the million-node/HOT scaling slice in the baseline
+#
 # Output: BENCH_<yyyymmdd>.json in the repo root, an array of
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...}
 # (bytes/allocs present only for benchmarks that report them).
@@ -16,7 +20,7 @@ OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem ./... | tee "$RAW"
+go test ${BENCH_TAGS:+-tags "$BENCH_TAGS"} -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem ./... | tee "$RAW"
 
 awk '
 BEGIN { print "["; first = 1 }

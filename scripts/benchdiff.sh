@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Gate benchmark regressions against the committed baseline.
+#
+# Runs the benchmark suite once (smoke mode: -benchtime 1x, -short so the
+# scaling tier is skipped), then compares against the lexically-latest
+# BENCH_*.json in the repo root with cmd/benchdiff. Fails when a kernel
+# recorded as allocation-free now allocates, or when ns/op regresses
+# beyond the tolerance.
+#
+# Usage:
+#   scripts/benchdiff.sh [baseline.json]
+#
+# Environment:
+#   BENCHDIFF_TOLERANCE   fractional ns/op growth allowed (default 0.25;
+#                         CI uses a generous value because -benchtime 1x
+#                         numbers on shared runners are noisy — the exact
+#                         allocs/op gate is the load-bearing check there)
+#   BENCHDIFF_BENCH       benchmark filter regexp (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE="${1:-}"
+if [[ -z "$BASELINE" ]]; then
+    BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+fi
+if [[ -z "$BASELINE" || ! -f "$BASELINE" ]]; then
+    echo "benchdiff.sh: no baseline BENCH_*.json found (run scripts/bench.sh first)" >&2
+    exit 2
+fi
+TOLERANCE="${BENCHDIFF_TOLERANCE:-0.25}"
+BENCH="${BENCHDIFF_BENCH:-.}"
+FRESH="$(mktemp)"
+trap 'rm -f "$FRESH"' EXIT
+
+echo "benchdiff.sh: baseline $BASELINE, tolerance $TOLERANCE"
+go test -run '^$' -bench "$BENCH" -benchtime 1x -benchmem -short ./... | tee "$FRESH"
+
+go run ./cmd/benchdiff -baseline "$BASELINE" -fresh "$FRESH" -tolerance "$TOLERANCE" -quiet
