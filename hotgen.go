@@ -63,6 +63,7 @@ package hotgen
 
 import (
 	"context"
+	"net/http"
 
 	"repro/internal/access"
 	"repro/internal/anonymize"
@@ -80,6 +81,7 @@ import (
 	"repro/internal/robust"
 	"repro/internal/routing"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/trafficreg"
@@ -134,7 +136,44 @@ type (
 	ScenarioResult = scenario.Result
 	// ScenarioRepResult is one replication's output.
 	ScenarioRepResult = scenario.RepResult
+	// EngineCacheStats is a point-in-time snapshot of the engine's
+	// byte-budgeted snapshot cache (hits, coalesced waits, misses,
+	// evictions, resident bytes) — see Engine.CacheStats and
+	// Engine.SetCacheBudget.
+	EngineCacheStats = scenario.CacheStats
 )
+
+// Scenario service: the resident counterpart of the Engine. One shared
+// engine is hosted behind an HTTP/JSON job API (submit spec documents,
+// poll incremental results, cancel through the threaded context, read
+// registry and cache/job telemetry) — see cmd/toposcenariod for the
+// daemon and `toposcenario -server` for the CLI client mode.
+type (
+	// ScenarioServiceConfig tunes a server: engine, queue depth,
+	// executor count, per-job workers and timeout.
+	ScenarioServiceConfig = service.Config
+	// ScenarioServer is the http.Handler hosting the job API.
+	ScenarioServer = service.Server
+	// ScenarioServiceClient is the Go client for a running daemon.
+	ScenarioServiceClient = service.Client
+	// ScenarioJobStatus is one job's wire status (state, progress,
+	// results).
+	ScenarioJobStatus = service.JobStatus
+	// ScenarioServiceStatusz is the daemon's monitoring snapshot.
+	ScenarioServiceStatusz = service.Statusz
+	// ScenarioRegistryInfo enumerates every component a spec can name.
+	ScenarioRegistryInfo = service.RegistryInfo
+)
+
+// NewScenarioServer builds a scenario service over cfg and starts its
+// executor pool; drain it with its Shutdown method.
+func NewScenarioServer(cfg ScenarioServiceConfig) *ScenarioServer { return service.New(cfg) }
+
+// NewScenarioServiceClient returns a client for the daemon at baseURL
+// (nil hc uses http.DefaultClient).
+func NewScenarioServiceClient(baseURL string, hc *http.Client) *ScenarioServiceClient {
+	return service.NewClient(baseURL, hc)
+}
 
 // Metric registry: the measurement mirror of the generator registry.
 // Every metric is registered by name with typed parameters, and a set

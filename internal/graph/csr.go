@@ -101,7 +101,8 @@ func (g *Graph) Freeze() *CSR {
 	}
 	c.rowStart[n] = pos
 
-	c.bfsNbr = append([]int32(nil), c.nbr...)
+	c.bfsNbr = make([]int32, len(c.nbr))
+	copy(c.bfsNbr, c.nbr)
 	for u := 0; u < n; u++ {
 		slices.Sort(c.bfsNbr[c.rowStart[u]:c.rowStart[u+1]])
 	}

@@ -1,0 +1,32 @@
+package graph
+
+import "testing"
+
+func TestCSRMemBytesExact(t *testing.T) {
+	for _, n := range []int{2, 10, 100} {
+		c := pathGraph(n).Freeze()
+		m := int64(n - 1)
+		// rowStart: 4(n+1); nbr+edgeID+bfsNbr: 3 * 4 * 2m; weight: 8 * 2m.
+		want := 4*int64(n+1) + 40*m
+		if got := c.MemBytes(); got != want {
+			t.Errorf("n=%d: CSR.MemBytes = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGraphMemBytesGrows(t *testing.T) {
+	small, big := pathGraph(10), pathGraph(1000)
+	sb, bb := small.MemBytes(), big.MemBytes()
+	if sb <= 0 {
+		t.Fatalf("small graph MemBytes = %d, want > 0", sb)
+	}
+	if bb <= sb {
+		t.Fatalf("1000-node graph (%d B) not larger than 10-node graph (%d B)", bb, sb)
+	}
+	// Labels are charged too.
+	labeled := pathGraph(10)
+	labeled.Node(0).Label = "a-rather-long-node-label"
+	if labeled.MemBytes() <= sb {
+		t.Fatal("label bytes not charged")
+	}
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// DefaultCacheBudget is the snapshot cache's default byte budget (the
+// estimated Graph + CSR footprint of the resident entries, not an entry
+// count).
+const DefaultCacheBudget int64 = 1 << 30
+
+// CacheStats is a point-in-time snapshot of the engine's topology-cache
+// telemetry, exposed by Engine.CacheStats and the scenario service's
+// /v1/statusz endpoint.
+type CacheStats struct {
+	// Hits counts lookups served by a resident completed snapshot,
+	// Coalesced counts lookups that joined a generation already in
+	// flight (the singleflight path), and Misses counts lookups that
+	// had to start a generation.
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	Misses    int64 `json:"misses"`
+	// Evictions counts completed snapshots dropped to fit the budget
+	// (snapshots larger than the whole budget, which are never
+	// retained, included). Failures counts generations that ended in
+	// error or cancellation; those entries are never retained either.
+	Evictions int64 `json:"evictions"`
+	Failures  int64 `json:"failures"`
+	// InFlight is the number of generations running right now, Entries
+	// the resident completed snapshots, and BytesUsed their estimated
+	// footprint against Budget.
+	InFlight  int   `json:"in_flight"`
+	Entries   int   `json:"entries"`
+	BytesUsed int64 `json:"bytes_used"`
+	Budget    int64 `json:"budget"`
+}
+
+// topoEntry is one generation: in flight until ready is closed, then
+// either a frozen snapshot (g, c) or a failure (err).
+type topoEntry struct {
+	key   string
+	ready chan struct{}
+	g     *graph.Graph
+	c     *graph.CSR
+	err   error
+	bytes int64
+}
+
+// snapCache is the engine's snapshot cache: an LRU of completed frozen
+// snapshots under an explicit byte budget, plus a singleflight table of
+// in-flight generations so any number of concurrent callers of one
+// topology identity amortize a single Generate+Freeze. Eviction walks
+// the LRU tail — a deterministic order for a given access history,
+// unlike the map-iteration-order eviction it replaced — and only ever
+// touches completed entries: an in-flight generation is not resident
+// and a failed one is never retained at all.
+type snapCache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	lru      *list.List               // of *topoEntry; front = most recently used
+	resident map[string]*list.Element // completed entries, by identity key
+	inflight map[string]*topoEntry    // running generations
+
+	hits, coalesced, misses, evictions, failures int64
+}
+
+func newSnapCache(budget int64) *snapCache {
+	return &snapCache{
+		budget:   budget,
+		lru:      list.New(),
+		resident: map[string]*list.Element{},
+		inflight: map[string]*topoEntry{},
+	}
+}
+
+// lookup returns the entry for key and whether the caller is the leader
+// that must generate it and then call finish. Non-leaders wait on
+// ent.ready (or their context).
+func (sc *snapCache) lookup(key string) (ent *topoEntry, leader bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.resident[key]; ok {
+		sc.lru.MoveToFront(el)
+		sc.hits++
+		return el.Value.(*topoEntry), false
+	}
+	if ent, ok := sc.inflight[key]; ok {
+		sc.coalesced++
+		return ent, false
+	}
+	ent = &topoEntry{key: key, ready: make(chan struct{})}
+	sc.inflight[key] = ent
+	sc.misses++
+	return ent, true
+}
+
+// finish publishes a leader's outcome: waiters wake, a failed (errored
+// or canceled) generation is dropped so a later run retries, and a
+// successful snapshot is charged to the budget, evicting from the LRU
+// tail until it fits. A snapshot bigger than the whole budget is not
+// retained at all (so a budget <= 0 disables retention while keeping
+// the singleflight sharing).
+func (sc *snapCache) finish(ent *topoEntry) {
+	close(ent.ready)
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	delete(sc.inflight, ent.key)
+	if ent.err != nil {
+		sc.failures++
+		return
+	}
+	ent.bytes = ent.g.MemBytes() + ent.c.MemBytes()
+	if ent.bytes > sc.budget {
+		sc.evictions++
+		return
+	}
+	sc.resident[ent.key] = sc.lru.PushFront(ent)
+	sc.used += ent.bytes
+	sc.evictLocked()
+}
+
+func (sc *snapCache) evictLocked() {
+	for sc.used > sc.budget {
+		el := sc.lru.Back()
+		if el == nil {
+			return
+		}
+		old := sc.lru.Remove(el).(*topoEntry)
+		delete(sc.resident, old.key)
+		sc.used -= old.bytes
+		sc.evictions++
+	}
+}
+
+// setBudget replaces the byte budget, evicting immediately if the new
+// one is tighter.
+func (sc *snapCache) setBudget(budget int64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.budget = budget
+	sc.evictLocked()
+}
+
+func (sc *snapCache) stats() CacheStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return CacheStats{
+		Hits:      sc.hits,
+		Coalesced: sc.coalesced,
+		Misses:    sc.misses,
+		Evictions: sc.evictions,
+		Failures:  sc.failures,
+		InFlight:  len(sc.inflight),
+		Entries:   sc.lru.Len(),
+		BytesUsed: sc.used,
+		Budget:    sc.budget,
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/errs"
 	"repro/internal/graph"
@@ -24,68 +23,62 @@ type Options struct {
 	// units out (<= 0 means GOMAXPROCS). All reductions happen in unit
 	// order, so output is byte-identical for any value.
 	Workers int
+	// Progress, when non-nil, is called once per completed (scenario,
+	// replication) unit with a copy of its result. Units complete in
+	// scheduling order, not unit order, and calls may arrive from
+	// several worker goroutines concurrently — the callback must be
+	// safe for concurrent use. The scenario index refers to the slice
+	// passed to RunBatch. The scenario service uses this to stream
+	// incremental per-rep results while a job runs.
+	Progress func(scenario, rep int, rr RepResult)
 }
 
 // Engine executes scenarios over a registry on the CSR kernel. It
 // caches frozen snapshots keyed by topology identity (model + resolved
-// params + seed), so scenarios that measure, route and attack the same
-// topology generate and freeze it once. The zero value is not usable;
-// call NewEngine.
+// params + seed) in a byte-budgeted LRU (see CacheStats), so scenarios
+// that measure, route and attack the same topology generate and freeze
+// it once — including across concurrent batches: the cache has
+// singleflight semantics, so any number of concurrent callers of one
+// identity amortize a single generation. The zero value is not usable;
+// call NewEngine. An Engine is safe for concurrent use and is designed
+// to be shared — the scenario service hosts one Engine for all jobs.
 type Engine struct {
-	reg *Registry
-
-	mu    sync.Mutex
-	cache map[string]*topoEntry
-	// cacheLimit bounds the snapshot cache (default 128 entries).
-	cacheLimit int
-}
-
-type topoEntry struct {
-	ready chan struct{}
-	g     *graph.Graph
-	c     *graph.CSR
-	err   error
+	reg   *Registry
+	cache *snapCache
 }
 
 // NewEngine returns an engine over the given registry (nil means
-// Default()).
+// Default()) with the default snapshot-cache budget
+// (DefaultCacheBudget).
 func NewEngine(reg *Registry) *Engine {
 	if reg == nil {
 		reg = Default()
 	}
-	return &Engine{reg: reg, cache: map[string]*topoEntry{}, cacheLimit: 128}
+	return &Engine{reg: reg, cache: newSnapCache(DefaultCacheBudget)}
 }
 
 // Registry returns the registry this engine resolves models in.
 func (e *Engine) Registry() *Registry { return e.reg }
 
+// SetCacheBudget bounds the snapshot cache's estimated resident
+// footprint in bytes (Graph + CSR, via their MemBytes estimators),
+// evicting immediately if the new budget is tighter than what is
+// resident. A budget <= 0 disables retention entirely while keeping the
+// singleflight generation sharing.
+func (e *Engine) SetCacheBudget(bytes int64) { e.cache.setBudget(bytes) }
+
+// CacheStats returns a point-in-time snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
 // snapshot returns the generated topology and its frozen CSR for one
 // (generate-spec, seed) identity, generating at most once per identity
 // even under concurrent replications. Failed generations (including
-// cancellations) are not cached, so a later run with a live context
+// cancellations) are never retained, so a later run with a live context
 // retries.
 func (e *Engine) snapshot(ctx context.Context, gen Generator, resolved Params, seed int64) (*graph.Graph, *graph.CSR, error) {
 	key := identityKey(gen.Name(), resolved, seed)
-	e.mu.Lock()
-	ent, ok := e.cache[key]
-	if !ok {
-		ent = &topoEntry{ready: make(chan struct{})}
-		if len(e.cache) >= e.cacheLimit {
-			// Evict an arbitrary completed entry; the cache only affects
-			// performance, never results.
-			for k, old := range e.cache {
-				select {
-				case <-old.ready:
-					delete(e.cache, k)
-				default:
-					continue
-				}
-				break
-			}
-		}
-		e.cache[key] = ent
-		e.mu.Unlock()
-
+	ent, leader := e.cache.lookup(key)
+	if leader {
 		p := resolved.Clone()
 		p["seed"] = float64(seed)
 		g, err := gen.Generate(ctx, p)
@@ -94,15 +87,9 @@ func (e *Engine) snapshot(ctx context.Context, gen Generator, resolved Params, s
 		} else {
 			ent.g, ent.c = g, g.Freeze()
 		}
-		close(ent.ready)
-		if err != nil {
-			e.mu.Lock()
-			delete(e.cache, key)
-			e.mu.Unlock()
-		}
+		e.cache.finish(ent)
 		return ent.g, ent.c, ent.err
 	}
-	e.mu.Unlock()
 	select {
 	case <-ent.ready:
 		return ent.g, ent.c, ent.err
@@ -128,6 +115,13 @@ func (e *Engine) Run(ctx context.Context, sc Scenario, opt Options) (*Result, er
 // context is checked before each unit and inside every stage; the first
 // (lowest-unit) error aborts the batch, with cancellation surfacing as
 // an errs.ErrCanceled-wrapping error.
+//
+// When a started batch fails (cancellation included), the returned
+// slice still carries the partial output alongside the error: each
+// Result is marked Partial and its Reps trimmed to the contiguous
+// prefix of replications that completed, so a cut-short run is
+// distinguishable from a complete one. Errors before any unit runs
+// (spec validation) return a nil slice.
 func (e *Engine) RunBatch(ctx context.Context, scs []Scenario, opt Options) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -151,6 +145,9 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario, opt Options) ([]*
 			units = append(units, unitRef{si, rep})
 		}
 	}
+	// done is written by at most one worker per index and read only
+	// after the fan-out fully returns.
+	done := make([]bool, len(units))
 	err := par.ForEachErr(opt.Workers, len(units), func(u int) error {
 		if err := errs.Ctx(ctx); err != nil {
 			return fmt.Errorf("scenario: unit %d: %w", u, err)
@@ -161,10 +158,27 @@ func (e *Engine) RunBatch(ctx context.Context, scs []Scenario, opt Options) ([]*
 			return fmt.Errorf("scenario %s rep %d: %w", scs[ref.si].describe(), ref.rep, err)
 		}
 		results[ref.si].Reps[ref.rep] = rr
+		done[u] = true
+		if opt.Progress != nil {
+			opt.Progress(ref.si, ref.rep, rr)
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		// Units were appended per scenario, so scenario si owns the
+		// contiguous block of NumReps() units starting at its offset.
+		u := 0
+		for si := range results {
+			reps := len(results[si].Reps)
+			k := 0
+			for k < reps && done[u+k] {
+				k++
+			}
+			results[si].Reps = results[si].Reps[:k]
+			results[si].Partial = true
+			u += reps
+		}
+		return results, err
 	}
 	return results, nil
 }

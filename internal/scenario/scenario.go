@@ -383,14 +383,23 @@ type RepResult struct {
 type Result struct {
 	Scenario Scenario    `json:"scenario"`
 	Reps     []RepResult `json:"reps"`
+	// Partial marks a result cut short by cancellation or error: Reps
+	// then holds only the contiguous prefix of replications that
+	// completed. Complete runs never set it, so its absence in JSON is
+	// the completeness marker.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Format renders the result as an aligned text table whose bytes are
 // identical for any Engine worker count.
 func (r *Result) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s (model=%s, reps=%d)\n",
-		r.Scenario.describe(), r.Scenario.Generate.Model, len(r.Reps))
+	partial := ""
+	if r.Partial {
+		partial = ", PARTIAL"
+	}
+	fmt.Fprintf(&b, "scenario %s (model=%s, reps=%d%s)\n",
+		r.Scenario.describe(), r.Scenario.Generate.Model, len(r.Reps), partial)
 	header := []string{"rep", "seed", "nodes", "edges"}
 	if r.Scenario.Measure != nil {
 		m := r.Scenario.Measure

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the scenario service: start toposcenariod on a
+# random port, submit the CLI smoke spec through `toposcenario -server`,
+# diff the JSON against a direct local run (they must be byte-identical),
+# check statusz, and exercise the SIGTERM graceful drain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build"
+go build -o "$workdir/toposcenariod" ./cmd/toposcenariod
+go build -o "$workdir/toposcenario" ./cmd/toposcenario
+
+echo "== start daemon"
+"$workdir/toposcenariod" -addr 127.0.0.1:0 -drain-timeout 30s \
+    2>"$workdir/daemon.log" &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(awk '/listening on/ {print $4; exit}' "$workdir/daemon.log" 2>/dev/null || true)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "daemon died during startup:" >&2
+        cat "$workdir/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "daemon never logged its address:" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+fi
+echo "daemon at $addr"
+
+spec=cmd/toposcenario/testdata/smoke.json
+
+echo "== remote run via -server"
+"$workdir/toposcenario" -server "http://$addr" -spec "$spec" \
+    -format json -o "$workdir/remote.json"
+
+echo "== local run"
+"$workdir/toposcenario" -spec "$spec" -workers 4 \
+    -format json -o "$workdir/local.json"
+
+echo "== diff remote vs local"
+diff "$workdir/remote.json" "$workdir/local.json"
+echo "byte-identical"
+
+echo "== statusz"
+"$workdir/toposcenario" -server "http://$addr" -statusz -o "$workdir/statusz.json"
+grep -q '"done": 1' "$workdir/statusz.json" || {
+    echo "statusz does not report the finished job:" >&2
+    cat "$workdir/statusz.json" >&2
+    exit 1
+}
+
+echo "== graceful drain (SIGTERM)"
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "daemon exited $rc after SIGTERM:" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$workdir/daemon.log" || {
+    echo "daemon log missing the drain marker:" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+}
+echo "service smoke OK"
