@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -68,6 +69,40 @@ func er100k(b *testing.B) *scaleTopo {
 	return scaleTopoFor(b, "er-100k", func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(100_000, 200_000, 1) })
 }
 
+// hot100k is an optimization-grown topology at the 100k tier — feasible
+// here (rather than behind slowbench) because growth runs on the grid
+// index's ~O(n log n) path.
+func hot100k(b *testing.B) *scaleTopo {
+	return scaleTopoFor(b, "hot-100k", func() (*graph.Graph, error) {
+		g, _, err := core.GrowHOT(core.HOTConfig{
+			N:               100_000,
+			Seed:            1,
+			Terms:           []core.ObjectiveTerm{core.DistanceTerm{Weight: 8}, core.CentralityTerm{Weight: 1}},
+			LinksPerArrival: 2,
+		})
+		return g, err
+	})
+}
+
+// reorderedCSR caches cache-reordered snapshots of a benchmark topology
+// alongside the plain ones.
+var (
+	scaleReorderMu sync.Mutex
+	scaleReorders  = map[string]*graph.CSR{}
+)
+
+func reorderedCSR(b *testing.B, key string, t *scaleTopo, mode graph.ReorderMode) *graph.CSR {
+	b.Helper()
+	scaleReorderMu.Lock()
+	defer scaleReorderMu.Unlock()
+	if c, ok := scaleReorders[key]; ok {
+		return c
+	}
+	c := t.g.FreezeWithOptions(graph.FreezeOptions{Reorder: mode})
+	scaleReorders[key] = c
+	return c
+}
+
 // benchSources picks a deterministic rotation of BFS/SSSP sources so
 // successive iterations do not hit one warm source.
 func benchSources(n int, seed int64) [64]int {
@@ -101,6 +136,58 @@ func benchBFS(b *testing.B, t *scaleTopo, topDown bool) {
 	}
 	if !topDown {
 		b.ReportMetric(float64(bottomUp)/float64(b.N), "bu-levels/op")
+	}
+}
+
+// benchBFSParallel measures the sharded parallel bottom-up BFS on the
+// same source rotation as benchBFS. workers = 0 uses GOMAXPROCS, so a
+// `-cpu 1,4` run produces one serial and one 4-worker leg; the output
+// is bit-identical to the serial traversal either way.
+func benchBFSParallel(b *testing.B, t *scaleTopo, workers int) {
+	srcs := benchSources(t.c.NumNodes(), 42)
+	ws := graph.GetWorkspace(t.c.NumNodes())
+	defer ws.Release()
+	t.c.BFSParallel(ws, srcs[0], workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	bottomUp := 0
+	for i := 0; i < b.N; i++ {
+		t.c.BFSParallel(ws, srcs[i%len(srcs)], workers)
+		bottomUp += ws.BFSBottomUpLevels
+	}
+	b.ReportMetric(float64(bottomUp)/float64(b.N), "bu-levels/op")
+}
+
+// benchBFSOn is benchBFS against an explicit (e.g. reordered) snapshot.
+func benchBFSOn(b *testing.B, c *graph.CSR) {
+	srcs := benchSources(c.NumNodes(), 42)
+	ws := graph.GetWorkspace(c.NumNodes())
+	defer ws.Release()
+	c.BFS(ws, srcs[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BFS(ws, srcs[i%len(srcs)])
+	}
+}
+
+// benchHOTGrow measures whole-topology growth (the generator hot path)
+// with a forced candidate-scan implementation; the Grid/Exhaustive pair
+// at the same N records the grid index's measured speedup.
+func benchHOTGrow(b *testing.B, n int, search core.GrowthSearch) {
+	cfg := core.HOTConfig{
+		N:               n,
+		Seed:            1,
+		Terms:           []core.ObjectiveTerm{core.DistanceTerm{Weight: 8}, core.CentralityTerm{Weight: 1}},
+		LinksPerArrival: 2,
+		Search:          search,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.GrowHOT(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -139,6 +226,41 @@ func BenchmarkScaleBFSDirOptER100k(b *testing.B) {
 func BenchmarkScaleBFSTopDownER100k(b *testing.B) {
 	skipUnlessScale(b)
 	benchBFS(b, er100k(b), true)
+}
+
+func BenchmarkScaleBFSParallelBA100k(b *testing.B) {
+	skipUnlessScale(b)
+	benchBFSParallel(b, ba100k(b), 0)
+}
+
+func BenchmarkScaleBFSDirOptBA100kRCM(b *testing.B) {
+	skipUnlessScale(b)
+	benchBFSOn(b, reorderedCSR(b, "ba-100k-rcm", ba100k(b), graph.ReorderRCM))
+}
+
+func BenchmarkScaleBFSDirOptER100kRCM(b *testing.B) {
+	skipUnlessScale(b)
+	benchBFSOn(b, reorderedCSR(b, "er-100k-rcm", er100k(b), graph.ReorderRCM))
+}
+
+func BenchmarkScaleBFSDirOptHOT100k(b *testing.B) {
+	skipUnlessScale(b)
+	benchBFS(b, hot100k(b), false)
+}
+
+func BenchmarkScaleBFSTopDownHOT100k(b *testing.B) {
+	skipUnlessScale(b)
+	benchBFS(b, hot100k(b), true)
+}
+
+func BenchmarkScaleHOTGrow25kGrid(b *testing.B) {
+	skipUnlessScale(b)
+	benchHOTGrow(b, 25_000, core.SearchGrid)
+}
+
+func BenchmarkScaleHOTGrow25kExhaustive(b *testing.B) {
+	skipUnlessScale(b)
+	benchHOTGrow(b, 25_000, core.SearchExhaustive)
 }
 
 func BenchmarkScaleDijkstraBucketBA100k(b *testing.B) {

@@ -57,11 +57,44 @@ func parseFile(path string) (map[string]benchResult, error) {
 		}
 		out := make(map[string]benchResult, len(list))
 		for _, r := range list {
-			out[normalizeName(r.Name)] = r
+			keep(out, r)
 		}
 		return out, nil
 	}
 	return parseBenchText(data)
+}
+
+// keep records r under its normalized name. A `go test -cpu 1,4` run
+// produces one line per GOMAXPROCS value that normalize to the same
+// name; the gate keeps the WORST measurement of the set (max ns/op, max
+// allocations), so a single-thread regression cannot hide behind a
+// faster parallel leg and an allocation picked up at any width still
+// trips the exact allocs gate.
+func keep(out map[string]benchResult, r benchResult) {
+	name := normalizeName(r.Name)
+	r.Name = name
+	prev, ok := out[name]
+	if !ok {
+		out[name] = r
+		return
+	}
+	if r.NsPerOp > prev.NsPerOp {
+		prev.NsPerOp = r.NsPerOp
+		prev.Iteration = r.Iteration
+	}
+	prev.BytesOp = maxPtr(prev.BytesOp, r.BytesOp)
+	prev.AllocsOp = maxPtr(prev.AllocsOp, r.AllocsOp)
+	out[name] = prev
+}
+
+func maxPtr(a, b *float64) *float64 {
+	if a == nil {
+		return b
+	}
+	if b != nil && *b > *a {
+		return b
+	}
+	return a
 }
 
 // parseBenchText parses raw `go test -bench -benchmem` output lines of
@@ -77,7 +110,7 @@ func parseBenchText(data []byte) (map[string]benchResult, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		r := benchResult{Name: normalizeName(fields[0])}
+		r := benchResult{Name: fields[0]}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			continue
@@ -102,7 +135,7 @@ func parseBenchText(data []byte) (map[string]benchResult, error) {
 			}
 		}
 		if ok {
-			out[r.Name] = r
+			keep(out, r)
 		}
 	}
 	return out, sc.Err()

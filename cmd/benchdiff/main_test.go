@@ -110,6 +110,39 @@ ok  	repro	2.153s
 	}
 }
 
+func TestParseKeepsWorstOfCPUDuplicates(t *testing.T) {
+	// A `go test -cpu 1,4` run emits one line per GOMAXPROCS value; both
+	// normalize to the same name and the gate must keep the worst of the
+	// set so a single-thread regression can't hide behind a parallel win.
+	raw := `BenchmarkPar-1  10  2000 ns/op  0 B/op  0 allocs/op
+BenchmarkPar-4  40   500 ns/op  64 B/op  2 allocs/op
+`
+	got, err := parseBenchText([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d entries, want 1 merged: %v", len(got), got)
+	}
+	r := got["BenchmarkPar"]
+	if r.NsPerOp != 2000 || r.Iteration != 10 {
+		t.Fatalf("kept ns/op %v (iters %d), want the slower leg 2000 (10)", r.NsPerOp, r.Iteration)
+	}
+	if r.AllocsOp == nil || *r.AllocsOp != 2 || r.BytesOp == nil || *r.BytesOp != 64 {
+		t.Fatalf("kept allocs %v bytes %v, want max of legs (2, 64)", r.AllocsOp, r.BytesOp)
+	}
+
+	// Same merge on the JSON path, and nil alloc fields survive a merge
+	// with a measured leg.
+	out := map[string]benchResult{}
+	keep(out, benchResult{Name: "BenchmarkJ-4", NsPerOp: 100, AllocsOp: fp(1)})
+	keep(out, benchResult{Name: "BenchmarkJ-1", NsPerOp: 300})
+	j := out["BenchmarkJ"]
+	if j.NsPerOp != 300 || j.AllocsOp == nil || *j.AllocsOp != 1 {
+		t.Fatalf("json merge kept %+v, want ns 300 allocs 1", j)
+	}
+}
+
 func TestParseFileJSONAndText(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "base.json")

@@ -304,6 +304,25 @@ type (
 	// Workspace owns the scratch buffers (distances, parents, heap,
 	// queue, visited epochs) one goroutine's kernel calls run in.
 	Workspace = graph.Workspace
+	// FreezeOptions tune Graph.FreezeWithOptions (cache-conscious
+	// traversal reordering); the zero value is a plain Freeze.
+	FreezeOptions = graph.FreezeOptions
+	// ReorderMode selects the internal traversal-layout permutation of a
+	// reordered snapshot. Every exported result (parents, distances,
+	// Neighbors, all metrics) stays in original node ids, bit-identical
+	// to an unreordered snapshot.
+	ReorderMode = graph.ReorderMode
+)
+
+// Reorder modes for FreezeOptions.
+const (
+	// ReorderNone keeps arrival order (identical to Graph.Freeze).
+	ReorderNone = graph.ReorderNone
+	// ReorderDegree lays nodes out by descending degree (hub locality).
+	ReorderDegree = graph.ReorderDegree
+	// ReorderRCM lays nodes out in reverse Cuthill–McKee order
+	// (bandwidth reduction).
+	ReorderRCM = graph.ReorderRCM
 )
 
 // GetWorkspace takes a pooled Workspace sized for n-node graphs; pair
@@ -344,6 +363,22 @@ type (
 	MaxDegreeConstraint = core.MaxDegreeConstraint
 	// MaxLengthConstraint is the link reach limit.
 	MaxLengthConstraint = core.MaxLengthConstraint
+	// GrowthSearch selects the candidate-scan implementation of the
+	// growth loops (FKPConfig.Search, HOTConfig.Search); results are
+	// bit-identical whichever scan runs.
+	GrowthSearch = core.GrowthSearch
+)
+
+// Growth candidate-scan implementations.
+const (
+	// SearchAuto (the zero value) uses the grid index when eligible and
+	// large enough to amortize it.
+	SearchAuto = core.SearchAuto
+	// SearchExhaustive forces the O(n) per-arrival reference scan.
+	SearchExhaustive = core.SearchExhaustive
+	// SearchGrid forces the ~O(log n) per-arrival grid index where
+	// eligible.
+	SearchGrid = core.SearchGrid
 )
 
 // FKP grows a tree per the FKP model.

@@ -69,6 +69,10 @@ type FKPConfig struct {
 	Centrality CentralityMode // centrality definition
 	MaxDegree  int            // router port cap; 0 = unconstrained
 	RootAt     *geom.Point    // fixed root placement; nil = region center
+	// Search selects the candidate-scan implementation; see GrowthSearch.
+	// Every FKP configuration is grid-eligible, and the grown tree is
+	// bit-identical either way.
+	Search GrowthSearch
 }
 
 func (c *FKPConfig) withDefaults() FKPConfig {
@@ -90,6 +94,9 @@ func (c *FKPConfig) Validate() error {
 	}
 	if c.MaxDegree < 0 {
 		return errs.BadParamf("core: FKP MaxDegree = %d, need >= 0", c.MaxDegree)
+	}
+	if c.Search > SearchGrid {
+		return errs.BadParamf("core: unknown GrowthSearch %d", c.Search)
 	}
 	return nil
 }
@@ -124,36 +131,86 @@ func FKPContext(ctx context.Context, cfg FKPConfig) (*graph.Graph, error) {
 	sumHops := make([]float64, 1, c.N) // for AvgHops: sum of hop dists to all current nodes
 	sumHops[0] = 0
 
+	// Grid index setup: the FKP objective is Alpha * distance + a
+	// centrality stat the index tracks directly, so every configuration
+	// is eligible. The stat weight is 1 except in AvgHops mode, where
+	// the stored stat is the raw pairwise hop sum and the per-arrival
+	// weight 1/i turns its regional minimums into valid bounds on
+	// sumHops[j]/i.
+	useGrid := false
+	switch c.Search {
+	case SearchGrid:
+		useGrid = true
+	case SearchExhaustive:
+	default:
+		useGrid = c.N >= gridMinNodes
+	}
+	var track [numStat]bool
+	var statW [numStat]float64
+	centStat := statHops
+	switch c.Centrality {
+	case DistToRoot:
+		centStat = statRootDist
+	case AvgHops:
+		centStat = statSumHops
+	}
+	track[centStat] = true
+	var ix *growthIndex
+	if useGrid {
+		ix = newGrowthIndex(growthBound(c.Region, nil, rootPt), c.N, track)
+		vals := [numStat]float64{}
+		ix.add(0, rootPt, &vals)
+	}
+
+	// Shared by both search paths so the cost arithmetic compiles once
+	// and the arg-min (ties to the smaller id, exactly the exhaustive
+	// loop's first-wins rule) is bit-identical.
+	var p geom.Point
+	arrival := 0
+	best := candList{k: 1}
+	eval := func(j int) {
+		if c.MaxDegree > 0 && g.Degree(j) >= c.MaxDegree {
+			return
+		}
+		nj := g.Node(j)
+		d := p.Dist(geom.Point{X: nj.X, Y: nj.Y})
+		var cent float64
+		switch c.Centrality {
+		case HopsToRoot:
+			cent = hops[j]
+		case DistToRoot:
+			cent = geom.Point{X: nj.X, Y: nj.Y}.Dist(rootPt)
+		case AvgHops:
+			cent = sumHops[j] / float64(arrival)
+		}
+		best.consider(j, c.Alpha*d+cent)
+	}
+	eval32 := func(j int32) { eval(int(j)) }
+	noLen := math.Inf(1)
+
 	for i := 1; i < c.N; i++ {
 		if err := errs.Ctx(ctx); err != nil {
 			return nil, fmt.Errorf("core: FKP at arrival %d: %w", i, err)
 		}
-		p := c.Region.RandomPoint(r)
-		bestJ := -1
-		bestCost := 0.0
-		for j := 0; j < i; j++ {
-			if c.MaxDegree > 0 && g.Degree(j) >= c.MaxDegree {
-				continue
+		p = c.Region.RandomPoint(r)
+		arrival = i
+		best.reset()
+		if ix != nil {
+			if c.Centrality == AvgHops {
+				statW[statSumHops] = 1 / float64(i)
+			} else {
+				statW[centStat] = 1
 			}
-			nj := g.Node(j)
-			d := p.Dist(geom.Point{X: nj.X, Y: nj.Y})
-			var cent float64
-			switch c.Centrality {
-			case HopsToRoot:
-				cent = hops[j]
-			case DistToRoot:
-				cent = geom.Point{X: nj.X, Y: nj.Y}.Dist(rootPt)
-			case AvgHops:
-				cent = sumHops[j] / float64(i)
-			}
-			cost := c.Alpha*d + cent
-			if bestJ == -1 || cost < bestCost {
-				bestJ, bestCost = j, cost
+			ix.search(p, c.Alpha, &statW, noLen, best.full, best.worstCost, eval32)
+		} else {
+			for j := 0; j < i; j++ {
+				eval(j)
 			}
 		}
-		if bestJ == -1 {
+		if best.empty() {
 			return nil, errs.Infeasiblef("core: no feasible attachment for node %d (MaxDegree=%d too tight)", i, c.MaxDegree)
 		}
+		bestJ := best.c[0].j
 		id := g.AddNode(graph.Node{Kind: graph.KindCustomer, X: p.X, Y: p.Y})
 		w := p.Dist(geom.Point{X: g.Node(bestJ).X, Y: g.Node(bestJ).Y})
 		g.AddEdge(graph.Edge{U: bestJ, V: id, Weight: w})
@@ -173,6 +230,14 @@ func FKPContext(ctx context.Context, cfg FKPConfig) (*graph.Graph, error) {
 			sumHops = append(sumHops, s)
 		} else {
 			sumHops = append(sumHops, 0)
+		}
+		if ix != nil {
+			vals := [numStat]float64{
+				statHops:     hops[id],
+				statRootDist: p.Dist(rootPt),
+				statSumHops:  sumHops[id],
+			}
+			ix.add(int32(id), p, &vals)
 		}
 	}
 	return g, nil

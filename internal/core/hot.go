@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/errs"
 	"repro/internal/geom"
@@ -134,6 +135,12 @@ type HOTConfig struct {
 	// When non-nil it must hold at least N-1 points; arrival i uses
 	// Arrivals[i-1] and Region is ignored for placement.
 	Arrivals []geom.Point
+	// Search selects the candidate-scan implementation; see GrowthSearch.
+	// The grid index requires every term and constraint to be one of the
+	// built-in types with non-negative weight (so regional cost lower
+	// bounds exist); other configurations keep the exhaustive scan.
+	// Either way the grown graph is bit-identical.
+	Search GrowthSearch
 }
 
 // Validate reports a configuration error (wrapping errs.ErrBadParam), or
@@ -151,19 +158,89 @@ func (c *HOTConfig) Validate() error {
 	if c.Arrivals != nil && len(c.Arrivals) < c.N-1 {
 		return errs.BadParamf("core: Arrivals holds %d points, need >= N-1 = %d", len(c.Arrivals), c.N-1)
 	}
+	if c.Search > SearchGrid {
+		return errs.BadParamf("core: unknown GrowthSearch %d", c.Search)
+	}
 	return nil
+}
+
+// searchPlan is the grid index's view of a term/constraint set: the
+// summed weight multiplying candidate distance, the summed weight per
+// bounded stat, the tightest length cap, and whether every component is
+// one of the built-in types the index can lower-bound.
+type searchPlan struct {
+	ok     bool
+	distW  float64
+	statW  [numStat]float64
+	track  [numStat]bool
+	maxLen float64
+}
+
+// planHOT classifies a HOT term/constraint set for the grid index.
+// Negative weights invert a term's monotonicity (regional minimums stop
+// lower-bounding the cost contribution), so they disqualify the index.
+func planHOT(terms []ObjectiveTerm, cons []Constraint) searchPlan {
+	pl := searchPlan{ok: true, maxLen: math.Inf(1)}
+	addStat := func(s int, w float64) bool {
+		if w < 0 {
+			return false
+		}
+		pl.statW[s] += w
+		pl.track[s] = true
+		return true
+	}
+	for _, t := range terms {
+		ok := false
+		switch tt := t.(type) {
+		case DistanceTerm:
+			if tt.Weight >= 0 {
+				pl.distW += tt.Weight
+				ok = true
+			}
+		case CentralityTerm:
+			ok = addStat(statHops, tt.Weight)
+		case LoadTerm:
+			ok = addStat(statDeg, tt.Weight)
+		case RootDistTerm:
+			ok = addStat(statRootDist, tt.Weight)
+		}
+		if !ok {
+			pl.ok = false
+			return pl
+		}
+	}
+	for _, c := range cons {
+		switch cc := c.(type) {
+		case MaxDegreeConstraint:
+			// Checked per candidate by the shared feasibility closure.
+		case MaxLengthConstraint:
+			if cc.Max < pl.maxLen {
+				pl.maxLen = cc.Max
+			}
+		default:
+			pl.ok = false
+			return pl
+		}
+	}
+	return pl
 }
 
 // GrowHOT runs the generalized incremental optimization growth: each
 // arriving node attaches to the LinksPerArrival feasible existing nodes
-// with the lowest total objective cost. With LinksPerArrival == 1 and
-// Terms = {DistanceTerm{alpha}, CentralityTerm{1}} this reduces exactly
-// to the FKP model.
+// with the lowest total objective cost (ties resolved toward the
+// smallest candidate id; links are added in ascending (cost, id) order).
+// With LinksPerArrival == 1 and Terms = {DistanceTerm{alpha},
+// CentralityTerm{1}} this reduces exactly to the FKP model.
 //
 // If no candidate is feasible for an arrival, the constraint set is
 // ignored for that arrival and the best unconstrained candidate is used;
 // Stats.ConstraintViolations counts such arrivals. (A real ISP must
 // connect the customer somehow — it deploys a bigger router.)
+//
+// The candidate scan is O(n) per arrival by reference; eligible
+// configurations on SearchAuto/SearchGrid run the uniform-grid index
+// instead (~O(log n) per arrival in practice), which is pinned
+// bit-identical by the growth parity tests.
 func GrowHOT(cfg HOTConfig) (*graph.Graph, *GrowthStats, error) {
 	return GrowHOTContext(context.Background(), cfg)
 }
@@ -195,67 +272,78 @@ func GrowHOTContext(ctx context.Context, cfg HOTConfig) (*graph.Graph, *GrowthSt
 	}
 	stats := &GrowthStats{TermNames: termNames(cfg.Terms)}
 
-	type cand struct {
-		j    int
-		cost float64
+	plan := planHOT(cfg.Terms, cfg.Constraints)
+	useGrid := false
+	switch cfg.Search {
+	case SearchGrid:
+		useGrid = plan.ok
+	case SearchExhaustive:
+	default:
+		useGrid = plan.ok && cfg.N >= gridMinNodes
 	}
+	var ix *growthIndex
+	if useGrid {
+		ix = newGrowthIndex(growthBound(region, cfg.Arrivals, rootPt), cfg.N, plan.track)
+		vals := [numStat]float64{statRootDist: 0}
+		ix.add(0, rootPt, &vals)
+	}
+
+	// Both search paths funnel every surviving candidate through the same
+	// two closures (defined once, reading the per-arrival vars), so the
+	// cost arithmetic compiles once and the selections are bit-identical.
+	var p geom.Point
+	best := candList{k: links}
+	costOf := func(j int) float64 {
+		cost := 0.0
+		for _, t := range cfg.Terms {
+			cost += t.Cost(st, p, j)
+		}
+		return cost
+	}
+	evalFeasible := func(j int) {
+		for _, c := range cfg.Constraints {
+			if !c.Feasible(st, p, j) {
+				return
+			}
+		}
+		best.consider(j, costOf(j))
+	}
+	evalAny := func(j int) { best.consider(j, costOf(j)) }
+	evalFeasible32 := func(j int32) { evalFeasible(int(j)) }
+	evalAny32 := func(j int32) { evalAny(int(j)) }
+	noLen := math.Inf(1)
+
 	for i := 1; i < cfg.N; i++ {
 		if err := errs.Ctx(ctx); err != nil {
 			return nil, nil, fmt.Errorf("core: HOT at arrival %d: %w", i, err)
 		}
-		var p geom.Point
 		if cfg.Arrivals != nil {
 			p = cfg.Arrivals[i-1]
 		} else {
 			p = region.RandomPoint(r)
 		}
 		st.Arrival = i
-		best := make([]cand, 0, links)
-		worst := -1 // index in best of the worst entry
-		consider := func(j int, feasible bool) {
-			_ = feasible
-			cost := 0.0
-			for _, t := range cfg.Terms {
-				cost += t.Cost(st, p, j)
+		best.reset()
+		if ix != nil {
+			ix.search(p, plan.distW, &plan.statW, plan.maxLen, best.full, best.worstCost, evalFeasible32)
+			if best.empty() {
+				stats.ConstraintViolations++
+				ix.search(p, plan.distW, &plan.statW, noLen, best.full, best.worstCost, evalAny32)
 			}
-			if len(best) < links {
-				best = append(best, cand{j, cost})
-				if worst == -1 || cost > best[worst].cost {
-					worst = len(best) - 1
-				}
-				return
-			}
-			if cost < best[worst].cost {
-				best[worst] = cand{j, cost}
-				worst = 0
-				for k := range best {
-					if best[k].cost > best[worst].cost {
-						worst = k
-					}
-				}
-			}
-		}
-		for j := 0; j < i; j++ {
-			ok := true
-			for _, c := range cfg.Constraints {
-				if !c.Feasible(st, p, j) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				consider(j, true)
-			}
-		}
-		if len(best) == 0 {
-			stats.ConstraintViolations++
+		} else {
 			for j := 0; j < i; j++ {
-				consider(j, false)
+				evalFeasible(j)
+			}
+			if best.empty() {
+				stats.ConstraintViolations++
+				for j := 0; j < i; j++ {
+					evalAny(j)
+				}
 			}
 		}
 		id := g.AddNode(graph.Node{Kind: graph.KindCustomer, X: p.X, Y: p.Y})
 		minHops := 0.0
-		for k, c := range best {
+		for k, c := range best.c {
 			nj := g.Node(c.j)
 			w := p.Dist(geom.Point{X: nj.X, Y: nj.Y})
 			g.AddEdge(graph.Edge{U: c.j, V: id, Weight: w})
@@ -266,6 +354,14 @@ func GrowHOTContext(ctx context.Context, cfg HOTConfig) (*graph.Graph, *GrowthSt
 			}
 		}
 		st.Hops = append(st.Hops, minHops)
+		if ix != nil {
+			vals := [numStat]float64{
+				statHops:     minHops,
+				statRootDist: p.Dist(rootPt),
+				statDeg:      float64(g.Degree(id)),
+			}
+			ix.add(int32(id), p, &vals)
+		}
 	}
 	return g, stats, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"slices"
+
+	"repro/internal/par"
 )
 
 // CSR is an immutable compressed-sparse-row snapshot of a Graph: every
@@ -45,8 +47,24 @@ type CSR struct {
 	// The BFS kernels traverse it instead of nbr: the bottom-up step can
 	// then claim a node at its first frontier neighbour and still honour
 	// the smallest-id parent contract, and the sorted rows scan with
-	// fewer cache-line switches on id-clustered generators.
+	// fewer cache-line switches on id-clustered generators. nil on
+	// reordered snapshots, where permNbr replaces it.
 	bfsNbr []int32
+
+	// Cache reordering (FreezeWithOptions with Reorder != ReorderNone):
+	// perm maps original -> internal ids, inv maps internal -> original,
+	// and permRowStart/permNbr are the BFS mirror in internal id space
+	// with each row still sorted ascending by ORIGINAL neighbour id, so
+	// the bottom-up first-match claim keeps the smallest-original-id
+	// parent contract. All nil when the snapshot is unreordered; only the
+	// BFS kernels consult them — Neighbors, Degree, Dijkstra and every
+	// metric read the original-order arrays and are byte-identical either
+	// way.
+	perm         []int32
+	inv          []int32
+	permRowStart []int32
+	permNbr      []int32
+	reorder      ReorderMode
 
 	// minW/maxW summarize the weight range (0/0 for edgeless snapshots);
 	// bucketOK records whether the bucketed Dijkstra applies: weights
@@ -79,6 +97,12 @@ func checkCSRBounds(nodes, edges int) {
 // beyond the int32 index space (MaxCSRNodes nodes or MaxCSRHalfEdges/2
 // edges) panic with a documented message.
 func (g *Graph) Freeze() *CSR {
+	return g.FreezeWithOptions(FreezeOptions{})
+}
+
+// freezeBase builds the unreordered snapshot; FreezeWithOptions layers
+// the optional traversal reordering on top.
+func (g *Graph) freezeBase() *CSR {
 	n := len(g.nodes)
 	checkCSRBounds(n, len(g.edges))
 	c := &CSR{
@@ -322,6 +346,17 @@ const (
 	bfsBeta  = 24
 )
 
+// Parallel bottom-up BFS tuning. Levels shard the node range into
+// bfsShardSpan-node chunks — a multiple of 64, so every shard owns a
+// disjoint range of next-frontier bitset words and workers never touch
+// the same word. BFS auto-engages the parallel path at
+// bfsParallelMinNodes nodes; below that the fan-out overhead outweighs a
+// dense level's work and the serial path is kept (BFSParallel overrides).
+const (
+	bfsShardSpan        = 4096
+	bfsParallelMinNodes = 1 << 18
+)
+
 // BFS computes hop distances from src into ws.Hop (-1 if unreachable) and
 // BFS parents into ws.Parent (-1 for src/unreachable; otherwise the
 // smallest-id neighbour one hop closer, per the CSR tie-break contract).
@@ -333,8 +368,32 @@ const (
 // claims its first in-frontier neighbour), switching back when the
 // frontier thins. On low-diameter power-law graphs the bottom-up levels
 // examine a small fraction of the edges a top-down sweep would.
+//
+// On snapshots of at least bfsParallelMinNodes nodes the bottom-up levels
+// additionally run parallel across GOMAXPROCS workers (see BFSParallel);
+// results are bit-identical either way, but the parallel fan-out
+// machinery allocates a little per call, so small graphs keep the
+// allocation-free serial path.
 func (c *CSR) BFS(ws *Workspace, src int) {
-	c.bfs(ws, src, bfsAlpha, bfsBeta)
+	workers := 1
+	if c.n >= bfsParallelMinNodes {
+		workers = par.Workers(0, c.n)
+	}
+	c.bfs(ws, src, bfsAlpha, bfsBeta, workers)
+}
+
+// BFSParallel is BFS with an explicit worker count for the bottom-up
+// levels (workers <= 0 means GOMAXPROCS), engaged regardless of graph
+// size. Each unvisited node independently scans its own sorted row and
+// claims its smallest-id in-frontier neighbour, so node outcomes do not
+// depend on scheduling and the result is bit-identical to BFS with
+// workers == 1. Top-down levels stay serial — they are a small fraction
+// of traversal work on the graphs where parallelism pays.
+func (c *CSR) BFSParallel(ws *Workspace, src, workers int) {
+	if workers <= 0 {
+		workers = par.Workers(0, c.n)
+	}
+	c.bfs(ws, src, bfsAlpha, bfsBeta, workers)
 }
 
 // BFSTopDown is the reference BFS kernel: plain level-synchronous
@@ -342,15 +401,28 @@ func (c *CSR) BFS(ws *Workspace, src int) {
 // bit-identical results to BFS and is kept exported for parity tests and
 // benchmarks.
 func (c *CSR) BFSTopDown(ws *Workspace, src int) {
-	c.bfs(ws, src, 0, 0)
+	c.bfs(ws, src, 0, 0, 1)
 }
 
 // bfs is the shared level-synchronous traversal; alpha <= 0 disables
-// direction switching (pure top-down).
-func (c *CSR) bfs(ws *Workspace, src int, alpha, beta int) {
+// direction switching (pure top-down), workers > 1 parallelizes the
+// bottom-up levels. On reordered snapshots the traversal runs over the
+// permuted mirror in internal id space and scatters Hop/Parent back to
+// original ids at the end; parent values are stored as original ids
+// throughout, so tie-breaks compare the same numbers as the unreordered
+// kernel and the outputs are bit-identical.
+func (c *CSR) bfs(ws *Workspace, src int, alpha, beta, workers int) {
 	ws.Reserve(c.n)
+	rowStart, nbrs := c.rowStart, c.bfsNbr
 	hop := ws.Hop[:c.n]
 	parent := ws.Parent[:c.n]
+	permuted := c.perm != nil
+	if permuted {
+		rowStart, nbrs = c.permRowStart, c.permNbr
+		ws.reservePerm(c.n)
+		hop = ws.permHop[:c.n]
+		parent = ws.permParent[:c.n]
+	}
 	for i := range hop {
 		hop[i] = -1
 		parent[i] = -1
@@ -359,13 +431,17 @@ func (c *CSR) bfs(ws *Workspace, src int, alpha, beta int) {
 	if c.n == 0 {
 		return
 	}
-	hop[src] = 0
+	isrc := src
+	if permuted {
+		isrc = int(c.perm[src])
+	}
+	hop[isrc] = 0
 	queue := ws.queue[:0]
-	queue = append(queue, int32(src))
+	queue = append(queue, int32(isrc))
 	lo, hi := 0, 1
-	nf := 1               // nodes in the current frontier
-	mf := c.Degree(src)   // half-edges out of the current frontier
-	mu := len(c.nbr) - mf // half-edges out of still-unvisited nodes
+	nf := 1                                       // nodes in the current frontier
+	mf := int(rowStart[isrc+1] - rowStart[isrc])  // half-edges out of the current frontier
+	mu := len(nbrs) - mf                          // half-edges out of still-unvisited nodes
 	bottomUp := false
 	words := (c.n + 63) / 64
 	front := ws.front[:words]
@@ -400,37 +476,29 @@ func (c *CSR) bfs(ws *Workspace, src int, alpha, beta int) {
 			for i := range next {
 				next[i] = 0
 			}
-			for v := 0; v < c.n; v++ {
-				if hop[v] >= 0 {
-					continue
-				}
-				for j := c.rowStart[v]; j < c.rowStart[v+1]; j++ {
-					u := c.bfsNbr[j]
-					if front[u>>6]&(1<<(uint(u)&63)) != 0 {
-						// Sorted row: the first in-frontier neighbour is
-						// the smallest-id one, honouring the contract.
-						hop[v] = level + 1
-						parent[v] = u
-						next[v>>6] |= 1 << (uint(v) & 63)
-						nfNext++
-						mfNext += int(c.rowStart[v+1] - c.rowStart[v])
-						break
-					}
-				}
+			if workers > 1 {
+				nfNext, mfNext = c.bottomUpParallel(ws, rowStart, nbrs, hop, parent, front, next, level, workers)
+			} else {
+				snf, smf := c.bottomUpRange(rowStart, nbrs, hop, parent, front, next, level, 0, c.n)
+				nfNext, mfNext = int(snf), int(smf)
 			}
 			front, next = next, front
 		} else {
 			for i := lo; i < hi; i++ {
 				u := queue[i]
-				for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
-					v := c.bfsNbr[j]
+				pu := u
+				if permuted {
+					pu = c.inv[u]
+				}
+				for j := rowStart[u]; j < rowStart[u+1]; j++ {
+					v := nbrs[j]
 					if hop[v] < 0 {
 						hop[v] = level + 1
-						parent[v] = u
+						parent[v] = pu
 						queue = append(queue, v)
-						mfNext += int(c.rowStart[v+1] - c.rowStart[v])
-					} else if hop[v] == level+1 && u < parent[v] {
-						parent[v] = u
+						mfNext += int(rowStart[v+1] - rowStart[v])
+					} else if hop[v] == level+1 && pu < parent[v] {
+						parent[v] = pu
 					}
 				}
 			}
@@ -441,6 +509,79 @@ func (c *CSR) bfs(ws *Workspace, src int, alpha, beta int) {
 		mu -= mf
 	}
 	ws.queue = queue
+	if permuted {
+		// Scatter internal-space hops/parents back to original ids.
+		// Parents already hold original ids.
+		outHop := ws.Hop[:c.n]
+		outParent := ws.Parent[:c.n]
+		for v, o := range c.inv {
+			outHop[o] = hop[v]
+			outParent[o] = parent[v]
+		}
+	}
+}
+
+// bottomUpRange runs one bottom-up level over nodes [vlo, vhi): every
+// still-unvisited node scans its sorted row and claims its first (hence
+// smallest-original-id) in-frontier neighbour. The outcome per node
+// depends only on front and the row — never on other nodes of the level
+// — which is what makes the sharded parallel variant bit-identical.
+// Returns the nodes and out-half-edges added to the next frontier.
+func (c *CSR) bottomUpRange(rowStart, nbrs []int32, hop, parent []int32, front, next []uint64, level int32, vlo, vhi int) (int32, int64) {
+	permuted := c.perm != nil
+	var nf int32
+	var mf int64
+	for v := vlo; v < vhi; v++ {
+		if hop[v] >= 0 {
+			continue
+		}
+		for j := rowStart[v]; j < rowStart[v+1]; j++ {
+			u := nbrs[j]
+			if front[u>>6]&(1<<(uint(u)&63)) != 0 {
+				// Sorted row: the first in-frontier neighbour is
+				// the smallest-id one, honouring the contract.
+				hop[v] = level + 1
+				if permuted {
+					parent[v] = c.inv[u]
+				} else {
+					parent[v] = u
+				}
+				next[v>>6] |= 1 << (uint(v) & 63)
+				nf++
+				mf += int64(rowStart[v+1] - rowStart[v])
+				break
+			}
+		}
+	}
+	return nf, mf
+}
+
+// bottomUpParallel fans one bottom-up level out over word-aligned
+// bfsShardSpan-node shards. Shards write disjoint hop/parent entries and
+// disjoint next-bitset words (the span is a multiple of 64) while front
+// is read-only, so there are no write conflicts; per-shard frontier
+// counters are summed in shard order, keeping the level's results and
+// the direction-switch inputs bit-identical to the serial loop.
+func (c *CSR) bottomUpParallel(ws *Workspace, rowStart, nbrs []int32, hop, parent []int32, front, next []uint64, level int32, workers int) (int, int) {
+	shards := (c.n + bfsShardSpan - 1) / bfsShardSpan
+	ws.reserveShards(shards)
+	snf := ws.shardNF[:shards]
+	smf := ws.shardMF[:shards]
+	par.ForEachWorkerErr(workers, shards, func(_, s int) error {
+		vlo := s * bfsShardSpan
+		vhi := vlo + bfsShardSpan
+		if vhi > c.n {
+			vhi = c.n
+		}
+		snf[s], smf[s] = c.bottomUpRange(rowStart, nbrs, hop, parent, front, next, level, vlo, vhi)
+		return nil
+	})
+	nf, mf := 0, 0
+	for s := range snf {
+		nf += int(snf[s])
+		mf += int(smf[s])
+	}
+	return nf, mf
 }
 
 // Eccentricity returns the maximum finite hop distance from src.

@@ -71,7 +71,7 @@ func TestBFSDirectionSwitchingParity(t *testing.T) {
 				t.Fatalf("BFSTopDown reports %d bottom-up levels", ref.BFSBottomUpLevels)
 			}
 			for _, reg := range regimes {
-				c.bfs(ws, src, reg.alpha, reg.beta)
+				c.bfs(ws, src, reg.alpha, reg.beta, 1)
 				if reg.wantBottom && ws.BFSBottomUpLevels == 0 {
 					t.Fatalf("seed %d src %d regime %s: no bottom-up level ran", seed, src, reg.name)
 				}
@@ -96,7 +96,7 @@ func TestBFSParentMinIDContract(t *testing.T) {
 		run  func(src int)
 	}{
 		{"top-down", func(src int) { c.BFSTopDown(ws, src) }},
-		{"bottom-up", func(src int) { c.bfs(ws, src, forceBottomUp, forceBottomUp) }},
+		{"bottom-up", func(src int) { c.bfs(ws, src, forceBottomUp, forceBottomUp, 1) }},
 		{"dir-opt", func(src int) { c.BFS(ws, src) }},
 	} {
 		for src := 0; src < n; src += 17 {
@@ -324,7 +324,7 @@ func TestBFSSmallShapes(t *testing.T) {
 		ref := NewWorkspace(n)
 		for src := 0; src < n; src++ {
 			c.BFSTopDown(ref, src)
-			c.bfs(ws, src, forceBottomUp, forceBottomUp)
+			c.bfs(ws, src, forceBottomUp, forceBottomUp, 1)
 			checkBFSEqual(t, "small", n, ref, ws)
 			c.Dijkstra(ws, src)
 			c.DijkstraHeap(ref, src)

@@ -1,6 +1,9 @@
 package graph
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 func TestCSRMemBytesExact(t *testing.T) {
 	for _, n := range []int{2, 10, 100} {
@@ -10,6 +13,46 @@ func TestCSRMemBytesExact(t *testing.T) {
 		want := 4*int64(n+1) + 40*m
 		if got := c.MemBytes(); got != want {
 			t.Errorf("n=%d: CSR.MemBytes = %d, want %d", n, got, want)
+		}
+		// Reordered: bfsNbr (8m) is dropped, permNbr (8m) replaces it,
+		// and perm+inv (8n) plus permRowStart (4(n+1)) are new.
+		r := pathGraph(n).FreezeWithOptions(FreezeOptions{Reorder: ReorderDegree})
+		want = 8*int64(n+1) + 8*int64(n) + 40*m
+		if got := r.MemBytes(); got != want {
+			t.Errorf("n=%d: reordered CSR.MemBytes = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestCSRMemBytesMeasured is the regression test keeping the estimator
+// honest against the allocator: freezing a large snapshot must grow the
+// heap by about what MemBytes claims, for both the plain and the
+// reordered layout. Size-class rounding and incidental runtime
+// allocation make exact equality impossible, so the check is a band.
+func TestCSRMemBytesMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement is slow and GC-sensitive")
+	}
+	measure := func(freeze func() *CSR) (grown int64, claimed int64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		c := freeze()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		return int64(after.HeapAlloc) - int64(before.HeapAlloc), c.MemBytes()
+	}
+	g := pathGraph(200000)
+	for _, tc := range []struct {
+		name   string
+		freeze func() *CSR
+	}{
+		{"plain", func() *CSR { return g.Freeze() }},
+		{"reordered", func() *CSR { return g.FreezeWithOptions(FreezeOptions{Reorder: ReorderRCM}) }},
+	} {
+		grown, claimed := measure(tc.freeze)
+		if grown < claimed*8/10 || grown > claimed*12/10 {
+			t.Errorf("%s: heap grew %d B for a snapshot claiming %d B (outside ±20%%)", tc.name, grown, claimed)
 		}
 	}
 }

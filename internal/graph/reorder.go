@@ -1,0 +1,158 @@
+package graph
+
+import "sort"
+
+// ReorderMode selects the cache-conscious internal permutation a
+// FreezeWithOptions snapshot applies to its BFS traversal mirror.
+type ReorderMode uint8
+
+const (
+	// ReorderNone keeps the original node order (Freeze's behaviour).
+	ReorderNone ReorderMode = iota
+	// ReorderDegree orders nodes by descending degree (ties by ascending
+	// id). Bottom-up BFS scans the hottest rows most, so packing them
+	// together front-loads the cache-resident part of the mirror.
+	ReorderDegree
+	// ReorderRCM applies reverse Cuthill-McKee: a BFS from a minimum-
+	// degree node visiting neighbours in (degree asc, id asc) order,
+	// reversed. Minimizes bandwidth, clustering each row's neighbours
+	// near the row itself.
+	ReorderRCM
+)
+
+// FreezeOptions configures Graph.FreezeWithOptions.
+type FreezeOptions struct {
+	// Reorder selects the traversal-mirror permutation. Regardless of
+	// mode, the snapshot's public surface is byte-identical to Freeze's:
+	// Neighbors, Degree, Parent/Dist/Hop, every metric, and every
+	// tie-break contract see original node ids only. The permutation
+	// exists purely so the BFS kernels walk a cache-friendlier layout.
+	Reorder ReorderMode
+}
+
+// FreezeWithOptions is Freeze with an optional cache-conscious reordering
+// of the BFS traversal mirror. With Reorder != ReorderNone the snapshot
+// stores an internal permutation plus its inverse and a permuted mirror
+// whose rows remain sorted by original neighbour id; the BFS kernels
+// traverse internal ids and scatter results back at the boundary, so all
+// outputs are bit-identical to the unreordered snapshot's (pinned by
+// parity tests). Dijkstra and the component kernels read the original-
+// order arrays either way. The plain sorted mirror is dropped on
+// reordered snapshots — the permuted mirror replaces it — so the memory
+// footprint grows only by the two n-sized permutation arrays and one
+// row-offset array (see CSR.MemBytes).
+func (g *Graph) FreezeWithOptions(opt FreezeOptions) *CSR {
+	c := g.freezeBase()
+	if opt.Reorder == ReorderNone || c.n == 0 {
+		return c
+	}
+	var inv []int32 // internal -> original
+	switch opt.Reorder {
+	case ReorderDegree:
+		inv = c.degreeOrder()
+	case ReorderRCM:
+		inv = c.rcmOrder()
+	default:
+		return c
+	}
+	perm := make([]int32, c.n) // original -> internal
+	for i, o := range inv {
+		perm[o] = int32(i)
+	}
+	c.perm, c.inv, c.reorder = perm, inv, opt.Reorder
+
+	// Build the permuted mirror: row of internal node i = row of
+	// original node inv[i], neighbours mapped to internal ids. Mapping
+	// the already-sorted bfsNbr row keeps each permuted row sorted by
+	// ORIGINAL neighbour id — exactly the order the bottom-up
+	// smallest-id claim needs.
+	c.permRowStart = make([]int32, c.n+1)
+	c.permNbr = make([]int32, len(c.nbr))
+	pos := int32(0)
+	for i := 0; i < c.n; i++ {
+		c.permRowStart[i] = pos
+		o := inv[i]
+		for j := c.rowStart[o]; j < c.rowStart[o+1]; j++ {
+			c.permNbr[pos] = perm[c.bfsNbr[j]]
+			pos++
+		}
+	}
+	c.permRowStart[c.n] = pos
+	c.bfsNbr = nil // replaced by the permuted mirror
+	return c
+}
+
+// Reordered reports the snapshot's traversal reordering mode.
+func (c *CSR) Reordered() ReorderMode { return c.reorder }
+
+// degreeOrder returns original ids sorted by (degree desc, id asc) — the
+// internal -> original map of the ReorderDegree permutation.
+func (c *CSR) degreeOrder() []int32 {
+	inv := make([]int32, c.n)
+	for i := range inv {
+		inv[i] = int32(i)
+	}
+	sort.Slice(inv, func(a, b int) bool {
+		da, db := c.Degree(int(inv[a])), c.Degree(int(inv[b]))
+		if da != db {
+			return da > db
+		}
+		return inv[a] < inv[b]
+	})
+	return inv
+}
+
+// rcmOrder returns the reverse Cuthill-McKee visit order (internal ->
+// original map of the ReorderRCM permutation): per component, BFS from
+// the unvisited (degree asc, id asc)-minimal node, enqueueing each
+// node's unvisited neighbours in (degree asc, id asc) order; the full
+// visit sequence is then reversed.
+func (c *CSR) rcmOrder() []int32 {
+	// Global (degree asc, id asc) ranking doubles as the component-start
+	// picker: the first still-unvisited entry starts the next component.
+	byDeg := make([]int32, c.n)
+	for i := range byDeg {
+		byDeg[i] = int32(i)
+	}
+	sort.Slice(byDeg, func(a, b int) bool {
+		da, db := c.Degree(int(byDeg[a])), c.Degree(int(byDeg[b]))
+		if da != db {
+			return da < db
+		}
+		return byDeg[a] < byDeg[b]
+	})
+	visited := make([]bool, c.n)
+	order := make([]int32, 0, c.n)
+	var row []int32
+	nextStart := 0
+	for len(order) < c.n {
+		for visited[byDeg[nextStart]] {
+			nextStart++
+		}
+		s := byDeg[nextStart]
+		visited[s] = true
+		order = append(order, s)
+		for head := len(order) - 1; head < len(order); head++ {
+			u := order[head]
+			row = row[:0]
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				if v := c.nbr[j]; !visited[v] {
+					visited[v] = true // also dedupes parallel edges
+					row = append(row, v)
+				}
+			}
+			sort.Slice(row, func(a, b int) bool {
+				da, db := c.Degree(int(row[a])), c.Degree(int(row[b]))
+				if da != db {
+					return da < db
+				}
+				return row[a] < row[b]
+			})
+			order = append(order, row...)
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+var reorderModes = []struct {
+	name string
+	mode ReorderMode
+}{
+	{"degree", ReorderDegree},
+	{"rcm", ReorderRCM},
+}
+
+// TestReorderPermutationValid checks the structural invariants of a
+// reordered snapshot: perm/inv are inverse bijections, the permuted
+// mirror holds exactly the original rows with neighbours mapped to
+// internal ids and still sorted by original id, and the public surface
+// (Degree, Neighbors) is untouched.
+func TestReorderPermutationValid(t *testing.T) {
+	g := randomTestGraph(120, 400, 7)
+	plain := g.Freeze()
+	for _, rm := range reorderModes {
+		c := g.FreezeWithOptions(FreezeOptions{Reorder: rm.mode})
+		if c.Reordered() != rm.mode {
+			t.Fatalf("%s: Reordered() = %v", rm.name, c.Reordered())
+		}
+		n := c.NumNodes()
+		seen := make([]bool, n)
+		for o := 0; o < n; o++ {
+			i := c.perm[o]
+			if c.inv[i] != int32(o) {
+				t.Fatalf("%s: inv[perm[%d]] = %d", rm.name, o, c.inv[i])
+			}
+			if seen[i] {
+				t.Fatalf("%s: internal id %d assigned twice", rm.name, i)
+			}
+			seen[i] = true
+		}
+		if c.bfsNbr != nil {
+			t.Fatalf("%s: plain mirror not dropped", rm.name)
+		}
+		for i := 0; i < n; i++ {
+			o := int(c.inv[i])
+			if got, want := int(c.permRowStart[i+1]-c.permRowStart[i]), c.Degree(o); got != want {
+				t.Fatalf("%s: permuted row %d has %d entries, degree(%d) = %d", rm.name, i, got, o, want)
+			}
+			// Mapping the permuted row back to original ids must give the
+			// original sorted row.
+			row := c.permNbr[c.permRowStart[i]:c.permRowStart[i+1]]
+			orig := make([]int32, len(row))
+			for k, v := range row {
+				orig[k] = c.inv[v]
+			}
+			want := plain.bfsNbr[plain.rowStart[o]:plain.rowStart[o+1]]
+			if !slices.Equal(orig, want) {
+				t.Fatalf("%s: permuted row %d (orig %d) = %v, want %v", rm.name, i, o, orig, want)
+			}
+		}
+		// Public surface identical to the plain snapshot.
+		for u := 0; u < n; u++ {
+			if c.Degree(u) != plain.Degree(u) {
+				t.Fatalf("%s: Degree(%d) changed", rm.name, u)
+			}
+			var got, want []int32
+			c.Neighbors(u, func(v, _ int, _ float64) { got = append(got, int32(v)) })
+			plain.Neighbors(u, func(v, _ int, _ float64) { want = append(want, int32(v)) })
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s: Neighbors(%d) order changed", rm.name, u)
+			}
+		}
+	}
+}
+
+// TestReorderDegreeDescending pins the ReorderDegree layout: internal id
+// order is (degree desc, original id asc).
+func TestReorderDegreeDescending(t *testing.T) {
+	g := randomTestGraph(200, 600, 9)
+	c := g.FreezeWithOptions(FreezeOptions{Reorder: ReorderDegree})
+	for i := 1; i < c.NumNodes(); i++ {
+		a, b := c.inv[i-1], c.inv[i]
+		da, db := c.Degree(int(a)), c.Degree(int(b))
+		if da < db || (da == db && a > b) {
+			t.Fatalf("internal order violated at %d: (deg %d, id %d) before (deg %d, id %d)", i, da, a, db, b)
+		}
+	}
+}
+
+// TestReorderedBFSParity pins the reordering identity guarantee: every
+// BFS kernel on a reordered snapshot — default thresholds, pure
+// top-down, forced bottom-up, and the parallel bottom-up at several
+// worker counts — produces Hop/Parent arrays and a bottom-up level count
+// bit-identical to the unreordered snapshot's.
+func TestReorderedBFSParity(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g := randomTestGraph(300, 700, seed)
+		plain := g.Freeze()
+		ref := NewWorkspace(plain.NumNodes())
+		ws := NewWorkspace(plain.NumNodes())
+		for _, rm := range reorderModes {
+			c := g.FreezeWithOptions(FreezeOptions{Reorder: rm.mode})
+			for src := 0; src < c.NumNodes(); src += 13 {
+				plain.BFS(ref, src)
+				refLevels := ref.BFSBottomUpLevels
+				c.BFS(ws, src)
+				checkBFSEqual(t, rm.name+"/default", c.NumNodes(), ref, ws)
+				if ws.BFSBottomUpLevels != refLevels {
+					t.Fatalf("%s src %d: %d bottom-up levels, plain %d", rm.name, src, ws.BFSBottomUpLevels, refLevels)
+				}
+				plain.BFSTopDown(ref, src)
+				c.BFSTopDown(ws, src)
+				checkBFSEqual(t, rm.name+"/top-down", c.NumNodes(), ref, ws)
+				c.bfs(ws, src, forceBottomUp, forceBottomUp, 1)
+				checkBFSEqual(t, rm.name+"/bottom-up", c.NumNodes(), ref, ws)
+				for _, workers := range []int{2, 8} {
+					c.bfs(ws, src, forceBottomUp, forceBottomUp, workers)
+					checkBFSEqual(t, rm.name+"/parallel", c.NumNodes(), ref, ws)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBottomUpParity pins the sharded parallel bottom-up level
+// bit-identical to the serial kernel across worker counts, on an
+// unreordered snapshot with the bottom-up regime forced so every level
+// exercises the parallel path.
+func TestParallelBottomUpParity(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		g := randomTestGraph(400, 900, seed)
+		c := g.Freeze()
+		ref := NewWorkspace(c.NumNodes())
+		ws := NewWorkspace(c.NumNodes())
+		for src := 0; src < c.NumNodes(); src += 13 {
+			c.bfs(ref, src, forceBottomUp, forceBottomUp, 1)
+			if ref.BFSBottomUpLevels == 0 {
+				t.Fatalf("seed %d src %d: forced regime ran no bottom-up level", seed, src)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				c.bfs(ws, src, forceBottomUp, forceBottomUp, workers)
+				checkBFSEqual(t, "parallel", c.NumNodes(), ref, ws)
+				if ws.BFSBottomUpLevels != ref.BFSBottomUpLevels {
+					t.Fatalf("seed %d src %d workers %d: %d bottom-up levels, serial %d",
+						seed, src, workers, ws.BFSBottomUpLevels, ref.BFSBottomUpLevels)
+				}
+			}
+			c.BFSParallel(ws, src, 4)
+			c.BFS(ref, src)
+			checkBFSEqual(t, "exported-parallel", c.NumNodes(), ref, ws)
+		}
+	}
+}

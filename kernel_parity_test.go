@@ -1,6 +1,7 @@
 package hotgen
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -109,6 +110,79 @@ func TestKernelParityAcrossModels(t *testing.T) {
 			// this also covers multi-component traversal.
 			sub, _ := g.RemoveNodes(degreeMask(g, 0.10))
 			checkKernelParity(t, m.name+"/masked", sub)
+		}
+	}
+}
+
+// checkBFSVariantsParity pins every BFS execution strategy — the sharded
+// parallel bottom-up at worker counts 1/2/8 and cache-reordered
+// snapshots (degree-descending and RCM) — to the serial
+// direction-optimizing traversal on the plain snapshot: hops, parents,
+// and the bottom-up level count, bit for bit.
+func checkBFSVariantsParity(t *testing.T, label string, g *graph.Graph) {
+	t.Helper()
+	c := g.Freeze()
+	n := c.NumNodes()
+	if n == 0 {
+		return
+	}
+	ref := graph.GetWorkspace(n)
+	defer ref.Release()
+	ws := graph.GetWorkspace(n)
+	defer ws.Release()
+
+	type variant struct {
+		name string
+		run  func(ws *graph.Workspace, src int)
+	}
+	var variants []variant
+	for _, w := range []int{1, 2, 8} {
+		w := w
+		variants = append(variants, variant{
+			name: fmt.Sprintf("par%d", w),
+			run:  func(ws *graph.Workspace, src int) { c.BFSParallel(ws, src, w) },
+		})
+	}
+	for _, m := range []struct {
+		name string
+		mode graph.ReorderMode
+	}{{"degree", graph.ReorderDegree}, {"rcm", graph.ReorderRCM}} {
+		rc := g.FreezeWithOptions(graph.FreezeOptions{Reorder: m.mode})
+		variants = append(variants, variant{
+			name: "reorder-" + m.name,
+			run:  rc.BFS,
+		})
+	}
+
+	stride := n/10 + 1
+	for src := 0; src < n; src += stride {
+		c.BFS(ref, src)
+		for _, v := range variants {
+			v.run(ws, src)
+			if ws.BFSBottomUpLevels != ref.BFSBottomUpLevels {
+				t.Fatalf("%s/%s src %d: %d bottom-up levels, serial dir-opt %d",
+					label, v.name, src, ws.BFSBottomUpLevels, ref.BFSBottomUpLevels)
+			}
+			for u := 0; u < n; u++ {
+				if ref.Hop[u] != ws.Hop[u] || ref.Parent[u] != ws.Parent[u] {
+					t.Fatalf("%s/%s src %d: node %d = (hop %d, parent %d), serial dir-opt (%d, %d)",
+						label, v.name, src, u, ws.Hop[u], ws.Parent[u], ref.Hop[u], ref.Parent[u])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelReorderedBFSParityAcrossModels(t *testing.T) {
+	for _, m := range parityModels() {
+		for _, seed := range []int64{1, 2} {
+			g, err := m.build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m.name, seed, err)
+			}
+			checkBFSVariantsParity(t, m.name, g)
+			sub, _ := g.RemoveNodes(degreeMask(g, 0.10))
+			checkBFSVariantsParity(t, m.name+"/masked", sub)
 		}
 	}
 }

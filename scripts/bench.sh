@@ -20,7 +20,10 @@ OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test ${BENCH_TAGS:+-tags "$BENCH_TAGS"} -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem ./... | tee "$RAW"
+# -timeout 90m: with BENCH_TAGS=slowbench the root package alone grows
+# and traverses several million-node topologies, well past go test's
+# default 10m.
+go test ${BENCH_TAGS:+-tags "$BENCH_TAGS"} -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem -timeout 90m ./... | tee "$RAW"
 
 awk '
 BEGIN { print "["; first = 1 }

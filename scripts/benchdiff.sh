@@ -33,6 +33,14 @@ FRESH="$(mktemp)"
 trap 'rm -f "$FRESH"' EXIT
 
 echo "benchdiff.sh: baseline $BASELINE, tolerance $TOLERANCE"
-go test -run '^$' -bench "$BENCH" -benchtime 1x -benchmem -short ./... | tee "$FRESH"
+# -cpu 1,4 runs every benchmark at both widths; benchdiff normalizes the
+# two lines to one name and keeps the worst measurement, so a
+# single-thread regression cannot hide behind a faster parallel leg.
+# -benchtime 20x (not 1x): switching GOMAXPROCS between legs makes the
+# runtime allocate a handful of objects one time, which a 1-iteration
+# run would misreport as allocs/op and trip the exact gate; 20
+# iterations amortize one-time noise to 0 while any real per-op
+# allocation still reads >= 1.
+go test -run '^$' -bench "$BENCH" -benchtime 20x -benchmem -short -cpu 1,4 ./... | tee "$FRESH"
 
 go run ./cmd/benchdiff -baseline "$BASELINE" -fresh "$FRESH" -tolerance "$TOLERANCE" -quiet
