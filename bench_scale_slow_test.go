@@ -32,6 +32,16 @@ func er1m(b *testing.B) *scaleTopo {
 	return scaleTopoFor(b, "er-1m", func() (*graph.Graph, error) { return gen.ErdosRenyiGNM(1_000_000, 2_000_000, 1) })
 }
 
+// ba10m is the 10^7-node slice of the scaling tier. At m=2 the snapshot
+// is ~10M nodes / ~20M edges: roughly 0.5 GB for the CSR arrays plus the
+// builder graph — the regime ROADMAP item 2 targets. Construction takes
+// minutes; the benchmarks below exist primarily to prove the int32 CSR
+// path and both traversal kernels hold up there, not for per-commit
+// gating.
+func ba10m(b *testing.B) *scaleTopo {
+	return scaleTopoFor(b, "ba-10m", func() (*graph.Graph, error) { return gen.BarabasiAlbert(10_000_000, 2, 1) })
+}
+
 func hot25k(b *testing.B) *scaleTopo {
 	return scaleTopoFor(b, "hot-25k", func() (*graph.Graph, error) {
 		g, _, err := core.GrowHOT(core.HOTConfig{
@@ -79,6 +89,20 @@ func BenchmarkScaleHOTGrow1M(b *testing.B) { benchHOTGrow(b, 1_000_000, core.Sea
 
 func BenchmarkScaleDijkstraBucketBA1M(b *testing.B) { benchDijkstra(b, ba1m(b), false) }
 func BenchmarkScaleDijkstraHeapBA1M(b *testing.B)   { benchDijkstra(b, ba1m(b), true) }
+
+// BenchmarkScaleDijkstraParallelBA1M pairs with
+// BenchmarkScaleDijkstraBucketBA1M: the same traversal with each bucket
+// window's frontier settled in parallel shards at GOMAXPROCS width (the
+// width CSR.Dijkstra auto-engages at this size).
+func BenchmarkScaleDijkstraParallelBA1M(b *testing.B) { benchDijkstraParallel(b, ba1m(b), 0) }
+
+// The 10M slices: both kernels at the top of the int32 CSR range.
+func BenchmarkScaleBFSDirOptBA10M(b *testing.B)      { benchBFS(b, ba10m(b), false) }
+func BenchmarkScaleBFSParallelBA10M(b *testing.B)    { benchBFSParallel(b, ba10m(b), 0) }
+func BenchmarkScaleDijkstraBucketBA10M(b *testing.B) { benchDijkstra(b, ba10m(b), false) }
+func BenchmarkScaleDijkstraParallelBA10M(b *testing.B) {
+	benchDijkstraParallel(b, ba10m(b), 0)
+}
 
 func BenchmarkScaleRoutingFanoutBA1M(b *testing.B) {
 	t := ba1m(b)

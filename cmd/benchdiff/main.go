@@ -12,6 +12,13 @@
 // run skips the scaling tier that the recorded baseline includes) unless
 // -require-all is set.
 //
+// Baselines recorded by scripts/bench.sh carry a meta stamp (commit, go
+// version, GOMAXPROCS, platform). When it disagrees with the fresh
+// side's environment the comparison is refused (exit 2) rather than
+// silently gated on numbers from a different machine; pass
+// -allow-cross-machine to compare anyway with a warning. A one-line
+// geomean ns/op summary over the common benchmarks closes every run.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_20260807.json -fresh out.txt [-tolerance 0.25] [-require-all]
@@ -25,7 +32,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,27 +50,58 @@ type benchResult struct {
 	Iteration int64    `json:"iterations"`
 }
 
-// parseFile loads benchmark results from either a bench.sh JSON file or
-// raw `go test -bench` text output, keyed by benchmark name (with the
-// -N GOMAXPROCS suffix stripped so runs from different machines align).
-func parseFile(path string) (map[string]benchResult, error) {
+// benchMeta is the recording-environment stamp scripts/bench.sh embeds
+// in its JSON output. Comparing ns/op across different machines (or go
+// toolchains, or GOMAXPROCS settings) is meaningless, so benchdiff uses
+// it to refuse such comparisons instead of silently gating on them.
+type benchMeta struct {
+	Commit     string `json:"commit"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Date       string `json:"date"`
+}
+
+// benchFile is the object form of a bench.sh recording.
+type benchFile struct {
+	Meta       *benchMeta    `json:"meta"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// parseFile loads benchmark results from a bench.sh JSON file (the
+// current {"meta": ..., "benchmarks": [...]} object form or the legacy
+// bare array) or raw `go test -bench` text output, keyed by benchmark
+// name (with the -N GOMAXPROCS suffix stripped so -cpu legs align). The
+// meta stamp is nil for the legacy and raw-text forms.
+func parseFile(path string) (map[string]benchResult, *benchMeta, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
-	if len(trimmed) > 0 && trimmed[0] == '[' {
+	if len(trimmed) > 0 && (trimmed[0] == '[' || trimmed[0] == '{') {
 		var list []benchResult
-		if err := json.Unmarshal(data, &list); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+		var meta *benchMeta
+		if trimmed[0] == '[' {
+			if err := json.Unmarshal(data, &list); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+		} else {
+			var f benchFile
+			if err := json.Unmarshal(data, &f); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			list, meta = f.Benchmarks, f.Meta
 		}
 		out := make(map[string]benchResult, len(list))
 		for _, r := range list {
 			keep(out, r)
 		}
-		return out, nil
+		return out, meta, nil
 	}
-	return parseBenchText(data)
+	out, err := parseBenchText(data)
+	return out, nil, err
 }
 
 // keep records r under its normalized name. A `go test -cpu 1,4` run
@@ -206,27 +246,90 @@ func compare(baseline, fresh map[string]benchResult, tolerance float64, requireA
 	return out
 }
 
+// machineMismatch reports why comparing against the baseline would be a
+// cross-machine/toolchain comparison, or "" when the environments match
+// (or cannot be checked). A nil freshMeta means the fresh side is a raw
+// `go test` run from THIS process's environment, so the runtime's own
+// go version and GOMAXPROCS stand in for it.
+func machineMismatch(base, fresh *benchMeta) string {
+	if base == nil {
+		return "" // legacy baseline without a meta stamp: nothing to check
+	}
+	fv, fp := runtime.Version(), runtime.GOMAXPROCS(0)
+	fos, farch := runtime.GOOS, runtime.GOARCH
+	if fresh != nil {
+		fv, fp, fos, farch = fresh.GoVersion, fresh.GoMaxProcs, fresh.GOOS, fresh.GOARCH
+	}
+	var why []string
+	if base.GoVersion != "" && fv != "" && base.GoVersion != fv {
+		why = append(why, fmt.Sprintf("go version %s vs baseline %s", fv, base.GoVersion))
+	}
+	if base.GoMaxProcs > 0 && fp > 0 && base.GoMaxProcs != fp {
+		why = append(why, fmt.Sprintf("GOMAXPROCS %d vs baseline %d", fp, base.GoMaxProcs))
+	}
+	if base.GOOS != "" && fos != "" && base.GOOS != fos {
+		why = append(why, fmt.Sprintf("GOOS %s vs baseline %s", fos, base.GOOS))
+	}
+	if base.GOARCH != "" && farch != "" && base.GOARCH != farch {
+		why = append(why, fmt.Sprintf("GOARCH %s vs baseline %s", farch, base.GOARCH))
+	}
+	return strings.Join(why, ", ")
+}
+
+// geomeanLine summarizes the run in one line: the geometric mean ns/op
+// of the benchmarks common to both sides, old vs new, with the ratio.
+// Returns "" when no benchmark overlaps.
+func geomeanLine(baseline, fresh map[string]benchResult) string {
+	var logOld, logNew float64
+	n := 0
+	for name, base := range baseline {
+		got, ok := fresh[name]
+		if !ok || base.NsPerOp <= 0 || got.NsPerOp <= 0 {
+			continue
+		}
+		logOld += math.Log(base.NsPerOp)
+		logNew += math.Log(got.NsPerOp)
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	gOld := math.Exp(logOld / float64(n))
+	gNew := math.Exp(logNew / float64(n))
+	return fmt.Sprintf("geomean ns/op: %.0f old -> %.0f new (%+.1f%%) over %d common benchmark(s)",
+		gOld, gNew, (gNew/gOld-1)*100, n)
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline JSON file (scripts/bench.sh output)")
 	freshPath := flag.String("fresh", "", "fresh results: bench.sh JSON or raw `go test -bench` output")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before failing")
 	requireAll := flag.Bool("require-all", false, "fail when a baseline benchmark is missing from the fresh run")
 	quiet := flag.Bool("quiet", false, "print only failures and warnings")
+	allowCross := flag.Bool("allow-cross-machine", false,
+		"compare despite a go version/GOMAXPROCS/platform mismatch with the baseline's meta stamp")
 	flag.Parse()
 	if *baselinePath == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	baseline, err := parseFile(*baselinePath)
+	baseline, baseMeta, err := parseFile(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	fresh, err := parseFile(*freshPath)
+	fresh, freshMeta, err := parseFile(*freshPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
+	}
+	if why := machineMismatch(baseMeta, freshMeta); why != "" {
+		if !*allowCross {
+			fmt.Fprintf(os.Stderr, "benchdiff: refusing cross-machine comparison (%s); re-record the baseline with scripts/bench.sh or pass -allow-cross-machine\n", why)
+			os.Exit(2)
+		}
+		fmt.Printf("WARN    cross-machine comparison (%s); ns/op deltas are not meaningful\n", why)
 	}
 	lines := compare(baseline, fresh, *tolerance, *requireAll)
 	failed := 0
@@ -237,6 +340,9 @@ func main() {
 		if l.fail || !*quiet || !strings.HasPrefix(l.text, "ok") {
 			fmt.Println(l.text)
 		}
+	}
+	if g := geomeanLine(baseline, fresh); g != "" {
+		fmt.Println(g)
 	}
 	if failed > 0 {
 		fmt.Printf("benchdiff: %d regression(s) beyond tolerance %.0f%%\n", failed, *tolerance*100)

@@ -151,9 +151,12 @@ func TestParseFileJSONAndText(t *testing.T) {
 ]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	base, err := parseFile(jsonPath)
+	base, baseMeta, err := parseFile(jsonPath)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if baseMeta != nil {
+		t.Fatalf("legacy array baseline produced a meta stamp: %+v", baseMeta)
 	}
 	if r, ok := base["BenchmarkA"]; !ok || r.NsPerOp != 100.5 || *r.AllocsOp != 0 {
 		t.Fatalf("json parse: %+v", base)
@@ -163,11 +166,82 @@ func TestParseFileJSONAndText(t *testing.T) {
 	if err := os.WriteFile(txtPath, []byte("BenchmarkA-4  20  99 ns/op  0 B/op  0 allocs/op\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := parseFile(txtPath)
+	fresh, freshMeta, err := parseFile(txtPath)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if freshMeta != nil {
+		t.Fatalf("raw text produced a meta stamp: %+v", freshMeta)
+	}
 	if fails := failures(compare(base, fresh, 0.25, true)); len(fails) != 0 {
 		t.Fatalf("cross-format compare failed: %q", fails)
+	}
+}
+
+func TestParseFileObjectFormWithMeta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, []byte(`{
+  "meta": {"commit": "abc123", "go_version": "go1.24.0", "gomaxprocs": 4, "goos": "linux", "goarch": "amd64", "date": "2026-08-07"},
+  "benchmarks": [
+    {"name": "BenchmarkA-4", "iterations": 10, "ns_per_op": 100, "allocs_per_op": 0}
+  ]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.Commit != "abc123" || meta.GoVersion != "go1.24.0" || meta.GoMaxProcs != 4 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if r, ok := got["BenchmarkA"]; !ok || r.NsPerOp != 100 {
+		t.Fatalf("benchmarks = %+v", got)
+	}
+}
+
+func TestMachineMismatch(t *testing.T) {
+	a := &benchMeta{GoVersion: "go1.24.0", GoMaxProcs: 4, GOOS: "linux", GOARCH: "amd64"}
+	same := &benchMeta{GoVersion: "go1.24.0", GoMaxProcs: 4, GOOS: "linux", GOARCH: "amd64"}
+	if why := machineMismatch(a, same); why != "" {
+		t.Fatalf("matching stamps flagged: %q", why)
+	}
+	if why := machineMismatch(nil, same); why != "" {
+		t.Fatalf("nil baseline meta flagged: %q", why)
+	}
+	diffGo := &benchMeta{GoVersion: "go1.23.1", GoMaxProcs: 4, GOOS: "linux", GOARCH: "amd64"}
+	if why := machineMismatch(a, diffGo); !strings.Contains(why, "go version") {
+		t.Fatalf("go version mismatch not flagged: %q", why)
+	}
+	diffProcs := &benchMeta{GoVersion: "go1.24.0", GoMaxProcs: 16, GOOS: "linux", GOARCH: "amd64"}
+	if why := machineMismatch(a, diffProcs); !strings.Contains(why, "GOMAXPROCS") {
+		t.Fatalf("GOMAXPROCS mismatch not flagged: %q", why)
+	}
+	// Empty fields are treated as unknown, not as a mismatch.
+	sparse := &benchMeta{GoMaxProcs: 4}
+	if why := machineMismatch(a, sparse); why != "" {
+		t.Fatalf("unknown fields flagged: %q", why)
+	}
+}
+
+func TestGeomeanLine(t *testing.T) {
+	baseline := map[string]benchResult{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 400},
+		"BenchmarkC": {Name: "BenchmarkC", NsPerOp: 50}, // not in fresh: excluded
+	}
+	fresh := map[string]benchResult{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 200},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 800},
+	}
+	line := geomeanLine(baseline, fresh)
+	// geomean(100,400)=200, geomean(200,800)=400: exactly +100%.
+	if !strings.Contains(line, "200 old -> 400 new") || !strings.Contains(line, "+100.0%") ||
+		!strings.Contains(line, "2 common") {
+		t.Fatalf("geomean line = %q", line)
+	}
+	if line := geomeanLine(baseline, map[string]benchResult{}); line != "" {
+		t.Fatalf("no-overlap geomean = %q", line)
 	}
 }

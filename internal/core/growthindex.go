@@ -33,10 +33,10 @@ const gridMinNodes = 1024
 // pairwise hop sum) — so a min recorded at insertion time remains a
 // valid lower bound on the stat's current value forever.
 const (
-	statHops = iota // tree hop distance to root (immutable)
-	statRootDist    // Euclidean distance to root (immutable)
-	statDeg         // degree at insertion (monotone under growth)
-	statSumHops     // sum of hop distances to all nodes (monotone)
+	statHops     = iota // tree hop distance to root (immutable)
+	statRootDist        // Euclidean distance to root (immutable)
+	statDeg             // degree at insertion (monotone under growth)
+	statSumHops         // sum of hop distances to all nodes (monotone)
 	numStat
 )
 
@@ -55,9 +55,9 @@ type cand struct {
 	cost float64
 }
 
-func (b *candList) reset()           { b.c = b.c[:0] }
-func (b *candList) empty() bool      { return len(b.c) == 0 }
-func (b *candList) full() bool       { return len(b.c) >= b.k }
+func (b *candList) reset()             { b.c = b.c[:0] }
+func (b *candList) empty() bool        { return len(b.c) == 0 }
+func (b *candList) full() bool         { return len(b.c) >= b.k }
 func (b *candList) worstCost() float64 { return b.c[len(b.c)-1].cost }
 
 // consider inserts (j, cost) if it is among the k smallest in (cost, j)

@@ -101,8 +101,12 @@ func (g *Graph) Freeze() *CSR {
 }
 
 // freezeBase builds the unreordered snapshot; FreezeWithOptions layers
-// the optional traversal reordering on top.
-func (g *Graph) freezeBase() *CSR {
+// the optional traversal reordering on top. sortedMirror=false skips the
+// bfsNbr build: the reordered path derives its permuted mirror straight
+// from nbr, so materializing bfsNbr there would only raise peak memory
+// by a second 2m-int32 array — at the 10^7-node scale that is hundreds
+// of megabytes of transient allocation for nothing.
+func (g *Graph) freezeBase(sortedMirror bool) *CSR {
 	n := len(g.nodes)
 	checkCSRBounds(n, len(g.edges))
 	c := &CSR{
@@ -125,10 +129,16 @@ func (g *Graph) freezeBase() *CSR {
 	}
 	c.rowStart[n] = pos
 
-	c.bfsNbr = make([]int32, len(c.nbr))
-	copy(c.bfsNbr, c.nbr)
-	for u := 0; u < n; u++ {
-		slices.Sort(c.bfsNbr[c.rowStart[u]:c.rowStart[u+1]])
+	if sortedMirror {
+		// Build the mirror row by row — copy then sort each chunk — so
+		// the pass streams through one row at a time instead of a
+		// whole-array copy followed by a second full sweep.
+		c.bfsNbr = make([]int32, len(c.nbr))
+		for u := 0; u < n; u++ {
+			row := c.bfsNbr[c.rowStart[u]:c.rowStart[u+1]]
+			copy(row, c.nbr[c.rowStart[u]:c.rowStart[u+1]])
+			slices.Sort(row)
+		}
 	}
 
 	c.minW, c.maxW = math.Inf(1), math.Inf(-1)
@@ -148,7 +158,12 @@ func (g *Graph) freezeBase() *CSR {
 	if len(c.weight) == 0 {
 		c.minW, c.maxW = 0, 0
 	}
-	c.bucketOK = ok && c.minW >= 0 && c.maxW > 0 && !math.IsInf(c.maxW, 1)
+	// The last clause guards subnormal maxW: when maxW/bucketSpan
+	// underflows to 0 the bucket index nd/delta is +Inf and the int
+	// conversion produces garbage, so such snapshots must take the heap
+	// kernel like any other unbinnable weight distribution.
+	c.bucketOK = ok && c.minW >= 0 && c.maxW > 0 && !math.IsInf(c.maxW, 1) &&
+		c.maxW/bucketSpan > 0
 	return c
 }
 
@@ -180,12 +195,50 @@ func (c *CSR) Neighbors(u int, fn func(v, edgeID int, w float64)) {
 // with no per-relaxation log factor; otherwise it falls back to
 // DijkstraHeap, which preserves the historical lazy panic on reaching a
 // negative edge.
+//
+// On snapshots of at least dijkstraParallelMinNodes nodes the bucketed
+// kernel additionally settles large bucket windows in parallel across
+// GOMAXPROCS workers (see DijkstraParallel); results are bit-identical
+// either way, but the fan-out machinery allocates a little per call, so
+// small graphs keep the allocation-free serial path.
 func (c *CSR) Dijkstra(ws *Workspace, src int) {
-	if c.bucketOK {
-		c.dijkstraBucket(ws, src)
+	if !c.bucketOK {
+		c.DijkstraHeap(ws, src)
 		return
 	}
-	c.DijkstraHeap(ws, src)
+	workers := 1
+	if c.n >= dijkstraParallelMinNodes {
+		workers = par.Workers(0, c.n)
+	}
+	if workers > 1 {
+		c.dijkstraBucketParallel(ws, src, workers, dijkstraParMinFrontier)
+		return
+	}
+	c.dijkstraBucket(ws, src)
+}
+
+// DijkstraParallel is Dijkstra with an explicit worker count for the
+// bucketed kernel's window settling (workers <= 0 means GOMAXPROCS),
+// engaged regardless of graph size. Each bucket window's frontier is
+// sharded across workers, relaxations are recorded in per-worker
+// buffers, and the buffers are merged serially in shard order under the
+// documented smallest-id/smallest-edge-id tie-break — so dist, parent,
+// and parentEdge are bit-identical to the serial bucketed kernel and to
+// DijkstraHeap at any worker count. Snapshots whose weights disqualify
+// bucketing fall back to the heap kernel, which is serial.
+func (c *CSR) DijkstraParallel(ws *Workspace, src, workers int) {
+	if !c.bucketOK {
+		c.DijkstraHeap(ws, src)
+		return
+	}
+	if workers <= 0 {
+		workers = par.Workers(0, c.n)
+	}
+	if workers > 1 {
+		c.dijkstraBucketParallel(ws, src, workers, dijkstraParMinFrontier)
+		return
+	}
+	c.dijkstraBucket(ws, src)
 }
 
 // DijkstraHeap is the reference shortest-path kernel: a lazy binary heap
@@ -337,6 +390,215 @@ func betterParent(u, e, p, pe int32) bool {
 	return u < p || (u == p && e < pe)
 }
 
+// Parallel bucketed Dijkstra tuning. Bucket windows are settled in
+// parallel when the drained frontier holds at least
+// dijkstraParMinFrontier nodes — below that the fan-out overhead
+// outweighs the window's relaxation work and the window runs serially.
+// Frontiers are sharded into dijkstraShardSpan-node chunks claimed
+// dynamically by the workers. Dijkstra auto-engages the parallel path
+// at dijkstraParallelMinNodes nodes (the same threshold as the parallel
+// BFS; DijkstraParallel overrides).
+const (
+	dijkstraParallelMinNodes = bfsParallelMinNodes
+	dijkstraShardSpan        = 1024
+	dijkstraParMinFrontier   = 4096
+)
+
+// bucketState bundles the bucketed kernel's queue bookkeeping so the
+// parallel kernel's merge phase and its serial small-window path share
+// one relaxation routine. All fields alias Workspace storage.
+type bucketState struct {
+	dist               []float64
+	parent, parentEdge []int32
+	bNext, bPrev, bOf  []int32
+	head               *[nBuckets]int32
+	delta              float64
+	live               int
+}
+
+// relax applies one candidate edge (u -> v via half-edge j of weight
+// sum nd): a strict improvement updates the distance and moves v to its
+// new bucket (decrease-key), an equal distance applies the
+// smallest-id/smallest-edge-id parent tie-break. The end state after a
+// set of relaxations does not depend on their order — improvements are
+// strict and the tie-break is a total order — which is what lets the
+// parallel kernel merge per-worker buffers without re-sorting.
+func (bs *bucketState) relax(u, v, e int32, nd float64) {
+	if nd < bs.dist[v] {
+		bs.dist[v] = nd
+		bs.parent[v] = u
+		bs.parentEdge[v] = e
+		t := int32(int(nd/bs.delta) % nBuckets)
+		if bs.bOf[v] == t {
+			return // queued in the right bucket already
+		}
+		if bs.bOf[v] >= 0 { // decrease-key: unlink from old bucket
+			if bs.bPrev[v] >= 0 {
+				bs.bNext[bs.bPrev[v]] = bs.bNext[v]
+			} else {
+				bs.head[bs.bOf[v]] = bs.bNext[v]
+			}
+			if bs.bNext[v] >= 0 {
+				bs.bPrev[bs.bNext[v]] = bs.bPrev[v]
+			}
+		} else {
+			bs.live++
+		}
+		bs.bOf[v] = t
+		bs.bPrev[v] = -1
+		bs.bNext[v] = bs.head[t]
+		if bs.head[t] >= 0 {
+			bs.bPrev[bs.head[t]] = v
+		}
+		bs.head[t] = v
+	} else if nd == bs.dist[v] && betterParent(u, e, bs.parent[v], bs.parentEdge[v]) {
+		bs.parent[v] = u
+		bs.parentEdge[v] = e
+	}
+}
+
+// dijkstraBucketParallel is the bucket-level parallel variant of
+// dijkstraBucket. Each non-empty window of the current bucket is
+// drained into a flat frontier and settled in two phases:
+//
+//  1. Scan (parallel): the frontier is sharded into dijkstraShardSpan
+//     chunks claimed dynamically via par.ForEachWorkerErr. Workers scan
+//     their nodes' rows against the pre-window dist/parent arrays —
+//     which no one writes during the phase, so the scan is race-free —
+//     and append surviving candidates (u, half-edge, tentative dist) to
+//     per-worker relaxation buffers, recording each shard's buffer
+//     segment.
+//  2. Merge (serial): segments are applied in shard order through
+//     bucketState.relax. The filter in phase 1 only drops candidates
+//     that can never win (nd above the node's current dist, or an
+//     equal-dist parent no better than the current one), and relax
+//     re-checks every survivor against the live state, so the final
+//     dist/parent/parentEdge fixed point — hence every subsequent
+//     bucket decision — is identical to the serial kernel's at any
+//     worker count and any shard-to-worker assignment.
+//
+// Windows smaller than minFrontier (dijkstraParMinFrontier from the
+// exported entry points; tests pass 1 to force every window through the
+// scan/merge machinery) skip the fan-out and settle serially through
+// the same relax routine.
+func (c *CSR) dijkstraBucketParallel(ws *Workspace, src, workers, minFrontier int) {
+	ws.Reserve(c.n)
+	ws.reserveRelax(workers)
+	bs := &bucketState{
+		dist:       ws.Dist[:c.n],
+		parent:     ws.Parent[:c.n],
+		parentEdge: ws.ParentEdge[:c.n],
+		bNext:      ws.bktNext[:c.n],
+		bPrev:      ws.bktPrev[:c.n],
+		bOf:        ws.bktOf[:c.n],
+		head:       &ws.bktHead,
+		delta:      c.maxW / bucketSpan,
+	}
+	for i := range bs.dist {
+		bs.dist[i] = Inf
+		bs.parent[i] = -1
+		bs.parentEdge[i] = -1
+		bs.bOf[i] = -1
+	}
+	if c.n == 0 {
+		return
+	}
+	for i := range bs.head {
+		bs.head[i] = -1
+	}
+	bs.dist[src] = 0
+	bs.bOf[src] = 0
+	bs.bPrev[src] = -1
+	bs.bNext[src] = -1
+	bs.head[0] = int32(src)
+	bs.live = 1
+	frontier := ws.queue[:0]
+	for k := 0; bs.live > 0; k++ {
+		s := k % nBuckets
+		for bs.head[s] >= 0 {
+			// Drain the window. Nodes relaxed to a better distance
+			// during the settle re-enter a bucket (possibly this one)
+			// and are drained again on the next pass.
+			frontier = frontier[:0]
+			for u := bs.head[s]; u >= 0; u = bs.bNext[u] {
+				frontier = append(frontier, u)
+				bs.bOf[u] = -1
+			}
+			bs.head[s] = -1
+			bs.live -= len(frontier)
+			if len(frontier) < minFrontier {
+				for _, u := range frontier {
+					du := bs.dist[u]
+					for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+						bs.relax(u, c.nbr[j], c.edgeID[j], du+c.weight[j])
+					}
+				}
+				continue
+			}
+			c.settleWindowParallel(ws, bs, frontier, workers)
+		}
+	}
+	ws.queue = frontier
+}
+
+// settleWindowParallel runs the scan/merge phases of one large bucket
+// window (see dijkstraBucketParallel).
+func (c *CSR) settleWindowParallel(ws *Workspace, bs *bucketState, frontier []int32, workers int) {
+	shards := (len(frontier) + dijkstraShardSpan - 1) / dijkstraShardSpan
+	ws.reserveRelaxShards(shards)
+	for w := range ws.relax[:workers] {
+		b := &ws.relax[w]
+		b.u = b.u[:0]
+		b.j = b.j[:0]
+		b.d = b.d[:0]
+	}
+	dist, parent, parentEdge := bs.dist, bs.parent, bs.parentEdge
+	par.ForEachWorkerErr(workers, shards, func(w, sh int) error {
+		lo := sh * dijkstraShardSpan
+		hi := lo + dijkstraShardSpan
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		b := &ws.relax[w]
+		ws.relaxShardW[sh] = int32(w)
+		ws.relaxShardLo[sh] = int32(len(b.u))
+		for _, u := range frontier[lo:hi] {
+			du := dist[u]
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				v := c.nbr[j]
+				nd := du + c.weight[j]
+				if nd < dist[v] || (nd == dist[v] && betterParent(u, c.edgeID[j], parent[v], parentEdge[v])) {
+					b.u = append(b.u, u)
+					b.j = append(b.j, j)
+					b.d = append(b.d, nd)
+				}
+			}
+		}
+		ws.relaxShardHi[sh] = int32(len(b.u))
+		return nil
+	})
+	for sh := 0; sh < shards; sh++ {
+		b := &ws.relax[ws.relaxShardW[sh]]
+		for i := ws.relaxShardLo[sh]; i < ws.relaxShardHi[sh]; i++ {
+			j := b.j[i]
+			bs.relax(b.u[i], c.nbr[j], c.edgeID[j], b.d[i])
+		}
+	}
+}
+
+// IntraWorkers clamps a per-traversal inner worker width for this
+// snapshot: below the parallel auto-engagement threshold (shared by BFS
+// and Dijkstra) one traversal is too small for the fan-out overhead to
+// pay, so callers composing an outer per-source fan-out with
+// intra-traversal parallelism (internal/routing, internal/metricreg)
+// get 1 back and stay on the allocation-free serial kernels.
+func (c *CSR) IntraWorkers(inner int) int {
+	if inner < 1 || c.n < bfsParallelMinNodes {
+		return 1
+	}
+	return inner
+}
+
 // Direction-optimizing BFS switching thresholds (Beamer et al.): switch
 // top-down -> bottom-up when the frontier's half-edges exceed the
 // unexplored half-edges / bfsAlpha, and bottom-up -> top-down when the
@@ -439,9 +701,9 @@ func (c *CSR) bfs(ws *Workspace, src int, alpha, beta, workers int) {
 	queue := ws.queue[:0]
 	queue = append(queue, int32(isrc))
 	lo, hi := 0, 1
-	nf := 1                                       // nodes in the current frontier
-	mf := int(rowStart[isrc+1] - rowStart[isrc])  // half-edges out of the current frontier
-	mu := len(nbrs) - mf                          // half-edges out of still-unvisited nodes
+	nf := 1                                      // nodes in the current frontier
+	mf := int(rowStart[isrc+1] - rowStart[isrc]) // half-edges out of the current frontier
+	mu := len(nbrs) - mf                         // half-edges out of still-unvisited nodes
 	bottomUp := false
 	words := (c.n + 63) / 64
 	front := ws.front[:words]

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // ReorderMode selects the cache-conscious internal permutation a
 // FreezeWithOptions snapshot applies to its BFS traversal mirror.
@@ -42,43 +45,52 @@ type FreezeOptions struct {
 // footprint grows only by the two n-sized permutation arrays and one
 // row-offset array (see CSR.MemBytes).
 func (g *Graph) FreezeWithOptions(opt FreezeOptions) *CSR {
-	c := g.freezeBase()
-	if opt.Reorder == ReorderNone || c.n == 0 {
+	mode := opt.Reorder
+	if mode != ReorderDegree && mode != ReorderRCM {
+		mode = ReorderNone // unknown modes fall back to a plain snapshot
+	}
+	// A reordered snapshot never materializes the plain sorted mirror:
+	// the permuted mirror below is derived straight from nbr, so peak
+	// memory during Freeze stays one mirror, not two.
+	c := g.freezeBase(mode == ReorderNone)
+	if mode == ReorderNone || c.n == 0 {
 		return c
 	}
 	var inv []int32 // internal -> original
-	switch opt.Reorder {
+	switch mode {
 	case ReorderDegree:
 		inv = c.degreeOrder()
 	case ReorderRCM:
 		inv = c.rcmOrder()
-	default:
-		return c
 	}
 	perm := make([]int32, c.n) // original -> internal
 	for i, o := range inv {
 		perm[o] = int32(i)
 	}
-	c.perm, c.inv, c.reorder = perm, inv, opt.Reorder
+	c.perm, c.inv, c.reorder = perm, inv, mode
 
 	// Build the permuted mirror: row of internal node i = row of
-	// original node inv[i], neighbours mapped to internal ids. Mapping
-	// the already-sorted bfsNbr row keeps each permuted row sorted by
-	// ORIGINAL neighbour id — exactly the order the bottom-up
-	// smallest-id claim needs.
+	// original node inv[i], neighbours mapped to internal ids. Each row
+	// is copied from nbr in original ids, sorted, then mapped through
+	// perm in place — the sort happens before the mapping, so each
+	// permuted row ends up sorted by ORIGINAL neighbour id, exactly the
+	// order the bottom-up smallest-id claim needs.
 	c.permRowStart = make([]int32, c.n+1)
 	c.permNbr = make([]int32, len(c.nbr))
 	pos := int32(0)
 	for i := 0; i < c.n; i++ {
 		c.permRowStart[i] = pos
 		o := inv[i]
-		for j := c.rowStart[o]; j < c.rowStart[o+1]; j++ {
-			c.permNbr[pos] = perm[c.bfsNbr[j]]
-			pos++
+		lo, hi := c.rowStart[o], c.rowStart[o+1]
+		row := c.permNbr[pos : pos+(hi-lo)]
+		copy(row, c.nbr[lo:hi])
+		slices.Sort(row)
+		for k := range row {
+			row[k] = perm[row[k]]
 		}
+		pos += hi - lo
 	}
 	c.permRowStart[c.n] = pos
-	c.bfsNbr = nil // replaced by the permuted mirror
 	return c
 }
 

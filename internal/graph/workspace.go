@@ -52,6 +52,16 @@ type Workspace struct {
 	shardNF []int32
 	shardMF []int64
 
+	// relax holds the parallel bucketed Dijkstra's per-worker deferred
+	// relaxation buffers; relaxShardW/Lo/Hi record, per frontier shard,
+	// which worker's buffer holds its candidates and the segment bounds,
+	// so the serial merge replays the shards in order whatever the
+	// dynamic shard-to-worker assignment was.
+	relax        []relaxBuf
+	relaxShardW  []int32
+	relaxShardLo []int32
+	relaxShardHi []int32
+
 	// bktNext/bktPrev/bktOf plus bktHead form the bucketed Dijkstra's
 	// circular monotone priority queue as intrusive doubly-linked lists:
 	// each node is in at most one bucket (bktOf[v] = slot, or -1 when
@@ -142,6 +152,44 @@ func (ws *Workspace) reservePerm(n int) {
 		ws.permParent = make([]int32, n)
 	}
 	ws.permParent = ws.permParent[:n]
+}
+
+// relaxBuf is one worker's candidate buffer of the parallel bucketed
+// Dijkstra scan phase: the settled endpoint, the half-edge index into
+// the CSR arrays (v and the edge id are recovered from it at merge
+// time), and the tentative distance.
+type relaxBuf struct {
+	u []int32
+	j []int32
+	d []float64
+}
+
+// reserveRelax grows the per-worker relaxation buffer set to k workers.
+// The buffers themselves grow by append and are retained across calls,
+// so a pooled Workspace settles to zero steady-state allocation.
+func (ws *Workspace) reserveRelax(k int) {
+	if cap(ws.relax) < k {
+		nb := make([]relaxBuf, k)
+		copy(nb, ws.relax)
+		ws.relax = nb
+	}
+	ws.relax = ws.relax[:cap(ws.relax)]
+}
+
+// reserveRelaxShards grows the shard segment bookkeeping to k shards.
+func (ws *Workspace) reserveRelaxShards(k int) {
+	if cap(ws.relaxShardW) < k {
+		ws.relaxShardW = make([]int32, k)
+	}
+	ws.relaxShardW = ws.relaxShardW[:k]
+	if cap(ws.relaxShardLo) < k {
+		ws.relaxShardLo = make([]int32, k)
+	}
+	ws.relaxShardLo = ws.relaxShardLo[:k]
+	if cap(ws.relaxShardHi) < k {
+		ws.relaxShardHi = make([]int32, k)
+	}
+	ws.relaxShardHi = ws.relaxShardHi[:k]
 }
 
 // reserveShards grows the parallel bottom-up counter arrays to k shards.

@@ -431,7 +431,11 @@ func (a *distortionAcc) Run(ctx context.Context, src *Source, workers int) error
 		count int
 	}
 	perSrc := make([]partial, len(srcs))
-	nw := par.Workers(workers, len(srcs))
+	// Split the budget between the per-source fan-out and each tree
+	// traversal's bottom-up shards; IntraWorkers clamps the inner width
+	// to 1 below the engagement threshold, so small trees stay serial.
+	nw, inner := par.Split(workers, len(srcs))
+	inner = tc.IntraWorkers(inner)
 	wss := make([]*graph.Workspace, nw)
 	for w := range wss {
 		wss[w] = graph.GetWorkspace(n)
@@ -442,7 +446,7 @@ func (a *distortionAcc) Run(ctx context.Context, src *Source, workers int) error
 			return err
 		}
 		ws := wss[w]
-		tc.BFS(ws, srcs[si])
+		tc.BFSParallel(ws, srcs[si], inner)
 		p := partial{}
 		for _, v := range bySrc[srcs[si]] {
 			if ws.Hop[v] > 0 {

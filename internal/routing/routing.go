@@ -84,8 +84,12 @@ func pinPaths(ctx context.Context, c *graph.CSR, demands []Demand, needEdges boo
 	// debugging and costs O(S log S) against S Dijkstra runs.
 	sort.Ints(srcs)
 	// One pooled workspace per worker, reserved up front: the per-source
-	// loop then allocates nothing, however many sources fan out.
-	workers := par.Workers(0, len(srcs))
+	// loop then allocates nothing, however many sources fan out. The
+	// GOMAXPROCS budget is split between the source fan-out and each
+	// traversal's intra-source shards, so few large sources still use
+	// the whole machine without the two levels oversubscribing it.
+	workers, inner := par.Split(0, len(srcs))
+	inner = c.IntraWorkers(inner)
 	wss := make([]*graph.Workspace, workers)
 	for w := range wss {
 		wss[w] = graph.GetWorkspace(c.NumNodes())
@@ -97,7 +101,7 @@ func pinPaths(ctx context.Context, c *graph.CSR, demands []Demand, needEdges boo
 		}
 		s := srcs[si]
 		ws := wss[w]
-		c.Dijkstra(ws, s)
+		c.DijkstraParallel(ws, s, inner)
 		for _, i := range bySrc[s] {
 			dst := demands[i].Dst
 			if math.IsInf(ws.Dist[dst], 1) {

@@ -187,6 +187,93 @@ func TestParallelReorderedBFSParityAcrossModels(t *testing.T) {
 	}
 }
 
+// checkDijkstraVariantsParity pins every Dijkstra execution strategy to
+// the heap reference on the plain snapshot: the parallel bucketed
+// kernel at worker counts 1/2/8 on the plain, degree-reordered, and
+// RCM-reordered snapshots (the weighted kernels read the original-order
+// arrays, so a reordering must be invisible to them), plus the serial
+// bucketed kernel. dist, parent, and parentEdge, bit for bit.
+func checkDijkstraVariantsParity(t *testing.T, label string, g *graph.Graph, stride int) {
+	t.Helper()
+	c := g.Freeze()
+	n := c.NumNodes()
+	if n == 0 {
+		return
+	}
+	ref := graph.GetWorkspace(n)
+	defer ref.Release()
+	ws := graph.GetWorkspace(n)
+	defer ws.Release()
+
+	type variant struct {
+		name string
+		run  func(ws *graph.Workspace, src int)
+	}
+	variants := []variant{{"bucket-serial", func(ws *graph.Workspace, src int) { c.DijkstraParallel(ws, src, 1) }}}
+	snaps := []struct {
+		name string
+		c    *graph.CSR
+	}{
+		{"plain", c},
+		{"degree", g.FreezeWithOptions(graph.FreezeOptions{Reorder: graph.ReorderDegree})},
+		{"rcm", g.FreezeWithOptions(graph.FreezeOptions{Reorder: graph.ReorderRCM})},
+	}
+	for _, s := range snaps {
+		for _, w := range []int{2, 8} {
+			s, w := s, w
+			variants = append(variants, variant{
+				name: fmt.Sprintf("%s/par%d", s.name, w),
+				run:  func(ws *graph.Workspace, src int) { s.c.DijkstraParallel(ws, src, w) },
+			})
+		}
+	}
+
+	if stride <= 0 {
+		stride = n/10 + 1
+	}
+	for src := 0; src < n; src += stride {
+		c.DijkstraHeap(ref, src)
+		for _, v := range variants {
+			v.run(ws, src)
+			for u := 0; u < n; u++ {
+				if ref.Dist[u] != ws.Dist[u] || ref.Parent[u] != ws.Parent[u] || ref.ParentEdge[u] != ws.ParentEdge[u] {
+					t.Fatalf("%s/%s src %d: node %d = (%v, %d, %d), heap (%v, %d, %d)",
+						label, v.name, src, u, ws.Dist[u], ws.Parent[u], ws.ParentEdge[u],
+						ref.Dist[u], ref.Parent[u], ref.ParentEdge[u])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDijkstraParityAcrossModels(t *testing.T) {
+	for _, m := range parityModels() {
+		for _, seed := range []int64{1, 2} {
+			g, err := m.build(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", m.name, seed, err)
+			}
+			checkDijkstraVariantsParity(t, m.name, g, 0)
+			sub, _ := g.RemoveNodes(degreeMask(g, 0.10))
+			checkDijkstraVariantsParity(t, m.name+"/masked", sub, 0)
+		}
+	}
+}
+
+// TestParallelDijkstraParityLargeFrontier runs the same pin on a
+// 30k-node unit-weight BA graph: with unit weights a whole BFS level
+// lands in one bucket window, so the peak frontier comfortably exceeds
+// the parallel kernel's minimum-frontier floor and the sharded
+// scan/merge path — not just the serial per-window fallback — is what
+// actually executes.
+func TestParallelDijkstraParityLargeFrontier(t *testing.T) {
+	g, err := gen.BarabasiAlbert(30_000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDijkstraVariantsParity(t, "ba-30k-unit", g, 7001)
+}
+
 // TestMaskedLCCTrajectoryMatchesSubgraphs walks a degree-attack removal
 // schedule on each model and pins the masked LCC kernel (what the
 // robustness sweeps measure) to materialized residual subgraphs.

@@ -16,6 +16,11 @@
 #                         numbers on shared runners are noisy — the exact
 #                         allocs/op gate is the load-bearing check there)
 #   BENCHDIFF_BENCH       benchmark filter regexp (default: all)
+#   BENCHDIFF_ALLOW_CROSS set to 1 to compare against a baseline recorded
+#                         on a different machine/toolchain (benchdiff
+#                         refuses by default when the meta stamps
+#                         disagree; CI runners differ from the recording
+#                         machine, so CI sets this explicitly)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,4 +48,8 @@ echo "benchdiff.sh: baseline $BASELINE, tolerance $TOLERANCE"
 # allocation still reads >= 1.
 go test -run '^$' -bench "$BENCH" -benchtime 20x -benchmem -short -cpu 1,4 ./... | tee "$FRESH"
 
-go run ./cmd/benchdiff -baseline "$BASELINE" -fresh "$FRESH" -tolerance "$TOLERANCE" -quiet
+CROSS_FLAG=""
+if [[ "${BENCHDIFF_ALLOW_CROSS:-0}" == "1" ]]; then
+    CROSS_FLAG="-allow-cross-machine"
+fi
+go run ./cmd/benchdiff -baseline "$BASELINE" -fresh "$FRESH" -tolerance "$TOLERANCE" -quiet $CROSS_FLAG
