@@ -133,6 +133,15 @@ type (
 	TrafficSummary = scenario.TrafficSummary
 	// AttackSpec runs a robustness sweep.
 	AttackSpec = scenario.AttackSpec
+	// ScenarioTimelineSpec replays an ordered failure/repair/traffic
+	// event schedule against the generated topology — the temporal
+	// stage.
+	ScenarioTimelineSpec = scenario.TimelineSpec
+	// ScenarioTimelineEvent is one ordered event of a scenario timeline
+	// (fail-node, fail-edge, repair, capacity-set, demand-switch).
+	ScenarioTimelineEvent = scenario.TimelineEventSpec
+	// ScenarioTimelinePoint is one timeline event's output row.
+	ScenarioTimelinePoint = scenario.TimelinePoint
 	// Engine executes scenarios with cancellation, a frozen-snapshot
 	// cache, and order-reduced (worker-count-independent) batches.
 	Engine = scenario.Engine
@@ -704,6 +713,14 @@ type (
 	// RobustnessMode selects the sweep evaluation path (auto, masked,
 	// incremental).
 	RobustnessMode = robust.Mode
+	// TimelineEvent is one connectivity event of a failure/repair
+	// timeline: an op applied to a node or edge id.
+	TimelineEvent = robust.TimelineEvent
+	// TimelineOp is a timeline event kind (fail/repair × node/edge).
+	TimelineOp = robust.TimelineOp
+	// TimelineMode selects the timeline evaluation path (auto, masked,
+	// epoch).
+	TimelineMode = robust.TimelineMode
 )
 
 // Attack targets and capability flags.
@@ -731,6 +748,26 @@ const (
 	SweepIncremental = robust.ModeIncremental
 )
 
+// Timeline event kinds and evaluation modes.
+const (
+	// TimelineFailNode removes a node and its incident edges.
+	TimelineFailNode = robust.OpFailNode
+	// TimelineFailEdge removes one edge; endpoints stay present.
+	TimelineFailEdge = robust.OpFailEdge
+	// TimelineRepairNode restores a failed node.
+	TimelineRepairNode = robust.OpRepairNode
+	// TimelineRepairEdge restores a failed edge.
+	TimelineRepairEdge = robust.OpRepairEdge
+	// TimelineAuto picks the epoch engine for plain LCC trajectories
+	// and the masked path otherwise.
+	TimelineAuto = robust.TimelineAuto
+	// TimelineMasked re-evaluates every metric from scratch per event.
+	TimelineMasked = robust.TimelineMasked
+	// TimelineEpoch forces the epoch-based dynamic-connectivity engine
+	// (LCC only).
+	TimelineEpoch = robust.TimelineEpoch
+)
+
 // AttackNames lists every registered attack name, sorted.
 func AttackNames() []string { return attackreg.Names() }
 
@@ -748,6 +785,23 @@ func LookupAttack(name string) (Attack, error) { return attackreg.Lookup(name) }
 // freezes internally).
 func RunRobustnessSweep(ctx context.Context, g *Graph, c *CSR, spec RobustnessSweepSpec, seed int64) ([]RobustnessMetricCurve, error) {
 	return robust.RunSweepContext(ctx, g, c, spec, seed)
+}
+
+// RunConnectivityTimeline traces a metric set along a failure/repair
+// timeline over a frozen snapshot: Values[0] is the intact topology,
+// Values[k] the state after the first k events. Monotone runs of fails
+// or repairs are replayed through one near-linear reverse union-find
+// pass each (the epoch-based dynamic-connectivity engine), pinned
+// bit-identical to per-event from-scratch evaluation by the parity
+// tests. See also ScenarioTimelineSpec for the declarative surface.
+func RunConnectivityTimeline(ctx context.Context, c *CSR, events []TimelineEvent, metrics []string, mode TimelineMode, seed int64) ([]RobustnessMetricCurve, error) {
+	return robust.RunTimelineContext(ctx, c, events, metrics, mode, seed)
+}
+
+// ParseTimelineMode maps a timeline mode name ("auto", "masked",
+// "epoch") to its TimelineMode.
+func ParseTimelineMode(name string) (TimelineMode, error) {
+	return robust.ParseTimelineMode(name)
 }
 
 // RobustnessAttackGap summarizes robust-yet-fragile for any registered

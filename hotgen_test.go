@@ -293,3 +293,47 @@ func TestFacadeTrafficRegistry(t *testing.T) {
 		t.Fatalf("traffic stage summary implausible: %+v", res.Reps[0].Traffic)
 	}
 }
+
+func TestFacadeConnectivityTimeline(t *testing.T) {
+	g, err := GenBarabasiAlbert(200, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Freeze()
+	events := []TimelineEvent{
+		{Op: TimelineFailNode, ID: 5},
+		{Op: TimelineFailEdge, ID: 9},
+		{Op: TimelineRepairNode, ID: 5},
+		{Op: TimelineRepairEdge, ID: 9},
+	}
+	mode, err := ParseTimelineMode("epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := RunConnectivityTimeline(context.Background(), c, events, nil, mode, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := curves[0].Values
+	if len(vals) != len(events)+1 {
+		t.Fatalf("%d rows, want %d", len(vals), len(events)+1)
+	}
+	if vals[0] != 1 || vals[len(vals)-1] != 1 {
+		t.Fatalf("intact/restored rows %v, want 1", vals)
+	}
+	sc := Scenario{
+		Generate: GenerateSpec{Model: "ba", Params: GenParams{"n": 60, "m": 2}},
+		Timeline: &ScenarioTimelineSpec{Events: []ScenarioTimelineEvent{
+			{Event: "fail-node", Node: &events[0].ID},
+			{Event: "repair", Node: &events[0].ID},
+		}},
+		Reps: 1,
+	}
+	res, err := NewEngine(nil).Run(context.Background(), sc, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := res.Reps[0].Timeline; len(pts) != 2 || pts[1].Metrics["lcc"] != 1 {
+		t.Fatalf("scenario timeline points: %+v", res.Reps[0].Timeline)
+	}
+}

@@ -909,6 +909,47 @@ func (c *CSR) LargestComponentMasked(ws *Workspace, removed []bool) int {
 	return best
 }
 
+// LargestComponentMixedMasked returns the size of the largest connected
+// component of the snapshot with nodes whose removedNode[u] is true and
+// edges whose removedEdge[edgeID] is true both treated as absent — the
+// combined-mask kernel under failure/repair timelines, which interleave
+// node and edge outages in one schedule. Either mask may be shorter than
+// its id space (the missing tail is present) or nil.
+func (c *CSR) LargestComponentMixedMasked(ws *Workspace, removedNode, removedEdge []bool) int {
+	ws.Reserve(c.n)
+	epoch := ws.nextEpoch()
+	visited := ws.visited
+	best := 0
+	for s := 0; s < c.n; s++ {
+		if visited[s] == epoch || (s < len(removedNode) && removedNode[s]) {
+			continue
+		}
+		visited[s] = epoch
+		queue := ws.queue[:0]
+		queue = append(queue, int32(s))
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			size++
+			for j := c.rowStart[u]; j < c.rowStart[u+1]; j++ {
+				if e := int(c.edgeID[j]); e < len(removedEdge) && removedEdge[e] {
+					continue
+				}
+				v := c.nbr[j]
+				if visited[v] != epoch && !(int(v) < len(removedNode) && removedNode[v]) {
+					visited[v] = epoch
+					queue = append(queue, v)
+				}
+			}
+		}
+		ws.queue = queue
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
 // LargestComponentEdgeMasked returns the size of the largest connected
 // component of the snapshot with edges whose removedEdge[edgeID] is true
 // treated as absent (all nodes stay present). It is the edge-removal

@@ -256,3 +256,58 @@ func TestCSRDijkstraNegativeWeightPanics(t *testing.T) {
 	}()
 	c.Dijkstra(ws, 0)
 }
+
+func TestLargestComponentMixedMaskedMatchesSubgraph(t *testing.T) {
+	g := randomTestGraph(90, 50, 13)
+	c := g.Freeze()
+	ws := NewWorkspace(g.NumNodes())
+	r := rand.New(rand.NewSource(17))
+	removedNode := make([]bool, g.NumNodes())
+	removedEdge := make([]bool, g.NumEdges())
+	var removedIDs []int
+	// Alternately remove nodes and edges, comparing the combined-mask
+	// kernel against a materialized subgraph at each step: surviving
+	// nodes, surviving edges between them.
+	for step := 0; step < 60; step++ {
+		if step%2 == 0 {
+			removedEdge[r.Intn(g.NumEdges())] = true
+		} else {
+			u := r.Intn(g.NumNodes())
+			if !removedNode[u] {
+				removedNode[u] = true
+				removedIDs = append(removedIDs, u)
+			}
+		}
+		sub := New(g.NumNodes())
+		id := make([]int, g.NumNodes())
+		for i := 0; i < g.NumNodes(); i++ {
+			id[i] = -1
+			if !removedNode[i] {
+				id[i] = sub.AddNode(*g.Node(i))
+			}
+		}
+		for i, edge := range g.Edges() {
+			if !removedEdge[i] && id[edge.U] >= 0 && id[edge.V] >= 0 {
+				sub.AddEdge(Edge{U: id[edge.U], V: id[edge.V], Weight: edge.Weight, Cable: -1})
+			}
+		}
+		want := 0
+		if sub.NumNodes() > 0 {
+			want = sub.LargestComponentSize()
+		}
+		if got := c.LargestComponentMixedMasked(ws, removedNode, removedEdge); got != want {
+			t.Fatalf("step %d: mixed-masked LCC %d vs subgraph LCC %d", step, got, want)
+		}
+		// The combined kernel must agree with the single-mask kernels when
+		// one mask is nil.
+		if got, want := c.LargestComponentMixedMasked(ws, removedNode, nil), c.LargestComponentMasked(ws, removedNode); got != want {
+			t.Fatalf("step %d: nil edge mask: %d vs node-masked %d", step, got, want)
+		}
+		if got, want := c.LargestComponentMixedMasked(ws, nil, removedEdge), c.LargestComponentEdgeMasked(ws, removedEdge); got != want {
+			t.Fatalf("step %d: nil node mask: %d vs edge-masked %d", step, got, want)
+		}
+	}
+	if got, want := c.LargestComponentMixedMasked(ws, nil, nil), g.LargestComponentSize(); got != want {
+		t.Fatalf("nil masks LCC = %d, want %d", got, want)
+	}
+}

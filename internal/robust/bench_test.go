@@ -56,3 +56,48 @@ func BenchmarkSweepRandomFailure10k(b *testing.B) {
 		}
 	}
 }
+
+// The timeline benches pit the epoch-based engine against per-event
+// from-scratch recompute on a 50-event outage-and-recovery schedule:
+// five cycles of eight fails and two repairs (~10 monotone epochs). The
+// epoch engine pays one near-linear rebuild per epoch; the recompute
+// path one full masked traversal per event. The acceptance bar for the
+// epoch engine is >= 3x on this workload.
+
+func benchTimelineInputs(b *testing.B) (*graph.CSR, []TimelineEvent) {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(10000, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	events := make([]TimelineEvent, 0, 50)
+	next := 1
+	for cycle := 0; cycle < 5; cycle++ {
+		start := next
+		for i := 0; i < 8; i++ {
+			events = append(events, TimelineEvent{Op: OpFailNode, ID: (next * 2654435761) % n})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			events = append(events, TimelineEvent{Op: OpRepairNode, ID: ((start + i) * 2654435761) % n})
+		}
+	}
+	return g.Freeze(), events
+}
+
+func benchTimeline(b *testing.B, mode TimelineMode) {
+	c, events := benchTimelineInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTimeline(c, events, nil, mode, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimelineEpochVsRecompute(b *testing.B) {
+	b.Run("epoch", func(b *testing.B) { benchTimeline(b, TimelineEpoch) })
+	b.Run("recompute", func(b *testing.B) { benchTimeline(b, TimelineMasked) })
+}

@@ -30,6 +30,12 @@ func newDSU(n int) *dsu {
 	return &dsu{parent: make([]int32, n), size: make([]int32, n)}
 }
 
+// reset forgets every set so the forest can be rebuilt over a new base
+// state — the per-epoch rebuild of the timeline engine. Stale parent
+// entries are left in place: add re-initializes each node that is part
+// of the new state, and find/union are only ever called on added nodes.
+func (d *dsu) reset() { d.best = 0 }
+
 // add activates v as a singleton set.
 func (d *dsu) add(v int) {
 	d.parent[v] = int32(v)
@@ -118,21 +124,15 @@ func lccEdgeTrajectory(c *graph.CSR, schedule []int) []int {
 	for _, e := range schedule {
 		scheduledEdge[e] = true
 	}
-	// Recover edge endpoints from the half-edge arrays: each edge id
-	// appears once per direction, the u < v visit selects one.
-	endU := make([]int32, m)
-	endV := make([]int32, m)
+	endU, endV := edgeEndpoints(c)
 	d := newDSU(n)
 	for v := 0; v < n; v++ {
 		d.add(v)
-		c.Neighbors(v, func(u, e int, _ float64) {
-			if u < v {
-				endU[e], endV[e] = int32(v), int32(u)
-				if !scheduledEdge[e] {
-					d.union(int32(v), int32(u))
-				}
-			}
-		})
+	}
+	for e := 0; e < m; e++ {
+		if !scheduledEdge[e] {
+			d.union(endU[e], endV[e])
+		}
 	}
 	sizes[len(schedule)] = d.best
 	for i := len(schedule) - 1; i >= 0; i-- {
@@ -141,4 +141,21 @@ func lccEdgeTrajectory(c *graph.CSR, schedule []int) []int {
 		sizes[i] = d.best
 	}
 	return sizes
+}
+
+// edgeEndpoints recovers each edge's endpoints from the half-edge
+// arrays: every edge id appears once per direction, so the u < v visit
+// selects one canonical orientation.
+func edgeEndpoints(c *graph.CSR) (endU, endV []int32) {
+	m := c.NumEdges()
+	endU = make([]int32, m)
+	endV = make([]int32, m)
+	for v := 0; v < c.NumNodes(); v++ {
+		c.Neighbors(v, func(u, e int, _ float64) {
+			if u < v {
+				endU[e], endV[e] = int32(v), int32(u)
+			}
+		})
+	}
+	return endU, endV
 }

@@ -3,6 +3,7 @@ package robust
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/attackreg"
@@ -106,10 +107,8 @@ func RunSweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, spec Swe
 	if n == 0 {
 		return nil, errs.BadParamf("robust: empty graph")
 	}
-	for _, f := range spec.Fracs {
-		if f < 0 || f > 1 {
-			return nil, errs.BadParamf("robust: removal fraction %v out of [0,1]", f)
-		}
+	if err := ValidateFracs(spec.Fracs); err != nil {
+		return nil, err
 	}
 	atk, err := attackreg.Lookup(spec.Attack)
 	if err != nil {
@@ -251,6 +250,22 @@ func RunSweepContext(ctx context.Context, g *graph.Graph, c *graph.CSR, spec Swe
 		}
 	}
 	return out, nil
+}
+
+// ValidateFracs is the one shared removal-fraction check: every sweep
+// fraction must be a real number in [0, 1]. NaN is rejected explicitly
+// — it fails both range comparisons, so an inline `f < 0 || f > 1`
+// check silently admits it and the schedule prefix `int(NaN * total)`
+// is implementation-defined garbage. Both the sweep engine and the
+// scenario attack-stage validation call this; errors wrap
+// errs.ErrBadParam.
+func ValidateFracs(fracs []float64) error {
+	for _, f := range fracs {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return errs.BadParamf("robust: removal fraction %v out of [0,1]", f)
+		}
+	}
+	return nil
 }
 
 // checkSchedule rejects schedules that are not complete permutations of

@@ -99,10 +99,15 @@ func (e *Engine) snapshot(ctx context.Context, gen Generator, resolved Params, s
 }
 
 // Run executes one scenario with the given worker bound applied to its
-// replications.
+// replications. Like RunBatch, a started-then-failed run returns its
+// Partial result alongside the error — the single-scenario surface
+// keeps the completed replication prefix instead of dropping it.
 func (e *Engine) Run(ctx context.Context, sc Scenario, opt Options) (*Result, error) {
 	out, err := e.RunBatch(ctx, []Scenario{sc}, opt)
 	if err != nil {
+		if len(out) == 1 {
+			return out[0], err
+		}
 		return nil, err
 	}
 	return out[0], nil
@@ -266,7 +271,113 @@ func (e *Engine) runRep(ctx context.Context, sc *Scenario, gen Generator, resolv
 		}
 		rr.Attack = pts
 	}
+
+	if tl := sc.Timeline; tl != nil {
+		pts, err := e.timeline(ctx, g, c, sc, tl, seed)
+		if err != nil {
+			return RepResult{}, err
+		}
+		rr.Timeline = pts
+	}
 	return rr, nil
+}
+
+// timeline executes the temporal stage for one replication: the
+// repeat-unrolled event schedule's connectivity events run through the
+// epoch-based engine in one call (mode-selectable for the parity
+// tests), and each capacity-set/demand-switch event re-evaluates the
+// CapTraffic set with the capacities and demand model current at that
+// point. The scenario's Traffic stage, when present, seeds the initial
+// demand model, site count, and default capacity; without one the
+// defaults match a bare TrafficSpec (gravity, 16 sites, unit capacity).
+func (e *Engine) timeline(ctx context.Context, g *graph.Graph, c *graph.CSR, sc *Scenario, tl *TimelineSpec, seed int64) ([]TimelinePoint, error) {
+	repeat := tl.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	total := len(tl.Events) * repeat
+	mode, err := robust.ParseTimelineMode(tl.Mode)
+	if err != nil {
+		return nil, err
+	}
+	metricNames := tl.Metrics
+	if len(metricNames) == 0 {
+		metricNames = []string{"lcc"}
+	}
+
+	// One pass splits the expanded schedule: connectivity events feed
+	// the robust engine as a single timeline, prefix[i] maps expanded
+	// event i to its row in the returned trajectory (row 0 = intact).
+	conn := make([]robust.TimelineEvent, 0, total)
+	prefix := make([]int, total)
+	for i := 0; i < total; i++ {
+		ev := &tl.Events[i%len(tl.Events)]
+		if op, id, ok := ev.connectivity(); ok {
+			conn = append(conn, robust.TimelineEvent{Op: op, ID: id})
+		}
+		prefix[i] = len(conn)
+	}
+	curves, err := robust.RunTimelineContext(ctx, c, conn, metricNames, mode, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Traffic state, mutated as capacity-set/demand-switch events land.
+	sel := trafficreg.Selection{}
+	sites, defCap := 16, 1.0
+	if ts := sc.Traffic; ts != nil {
+		sel = trafficreg.Selection{Name: ts.Model, Params: ts.Params}
+		if ts.Sites > 0 {
+			sites = ts.Sites
+		}
+		if ts.Capacity != 0 {
+			defCap = ts.Capacity
+		}
+	}
+	trafficG, cloned := g, false
+
+	pts := make([]TimelinePoint, total)
+	for i := 0; i < total; i++ {
+		ev := &tl.Events[i%len(tl.Events)]
+		pt := TimelinePoint{Index: i, Event: ev.Event, Node: ev.Node, Edge: ev.Edge}
+		if ev.At != nil {
+			t := *ev.At
+			pt.Time = &t
+		} else if ev.Step != nil {
+			t := float64(*ev.Step)
+			pt.Time = &t
+		}
+		pt.Metrics = make(map[string]float64, len(curves))
+		for mi := range curves {
+			pt.Metrics[curves[mi].Name] = curves[mi].Values[prefix[i]]
+		}
+		switch ev.Event {
+		case "capacity-set":
+			eid := *ev.Edge
+			if eid >= g.NumEdges() {
+				return nil, errs.BadParamf("scenario: timeline event %d: edge %d out of [0,%d)", i, eid, g.NumEdges())
+			}
+			// The first capacity change clones the shared snapshot's
+			// graph; the CSR stays valid (capacities are not frozen into
+			// it) so path pinning reuses it.
+			if !cloned {
+				trafficG, cloned = g.Clone(), true
+			}
+			trafficG.Edge(eid).Capacity = *ev.Capacity
+		case "demand-switch":
+			sel = trafficreg.Selection{Name: ev.Model, Params: ev.Params}
+		default:
+			pts[i] = pt
+			continue
+		}
+		sum, err := trafficSummary(ctx, trafficG, c, sel, sites, defCap, seed)
+		if err != nil {
+			return nil, err
+		}
+		pt.Traffic = sum
+		pts[i] = pt
+	}
+	return pts, nil
 }
 
 func (e *Engine) route(ctx context.Context, g *graph.Graph, c *graph.CSR, rt *RouteSpec, seed int64) (*RouteSummary, error) {
@@ -331,8 +442,14 @@ func (e *Engine) traffic(ctx context.Context, g *graph.Graph, c *graph.CSR, ts *
 	if defCap == 0 {
 		defCap = 1
 	}
-	eval, demands, sites, err := trafficreg.PrepareGraphTraffic(ctx, g,
-		trafficreg.Selection{Name: ts.Model, Params: ts.Params}, sites, defCap, seed)
+	return trafficSummary(ctx, g, c, trafficreg.Selection{Name: ts.Model, Params: ts.Params}, sites, defCap, seed)
+}
+
+// trafficSummary evaluates one demand model over the topology's site
+// geography and summarizes the CapTraffic metric set — the shared back
+// half of the traffic stage and every timeline traffic row.
+func trafficSummary(ctx context.Context, g *graph.Graph, c *graph.CSR, sel trafficreg.Selection, sites int, defCap float64, seed int64) (*TrafficSummary, error) {
+	eval, demands, sites, err := trafficreg.PrepareGraphTraffic(ctx, g, sel, sites, defCap, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +465,7 @@ func (e *Engine) traffic(ctx context.Context, g *graph.Graph, c *graph.CSR, ts *
 		offered += d.Volume
 	}
 	return &TrafficSummary{
-		Model:          trafficreg.Canonical(ts.Model),
+		Model:          trafficreg.Canonical(sel.Name),
 		Sites:          sites,
 		Demands:        len(demands),
 		Offered:        offered,

@@ -53,6 +53,23 @@ func testScenarios() []Scenario {
 			Traffic:  &TrafficSpec{Model: "zipf-hotspot", Sites: 10},
 			Reps:     2,
 		},
+		{
+			Name:     "ba-timeline",
+			Generate: GenerateSpec{Model: "ba", Params: Params{"n": 60, "m": 2}},
+			Traffic:  &TrafficSpec{Model: "bimodal", Sites: 8},
+			Timeline: &TimelineSpec{
+				Events: []TimelineEventSpec{
+					{Event: "fail-node", Node: ip(4), At: fp(1)},
+					{Event: "fail-edge", Edge: ip(3), At: fp(2)},
+					{Event: "capacity-set", Edge: ip(1), Capacity: fp(3)},
+					{Event: "demand-switch", Model: "bimodal", Params: Params{"peak": 0.5}},
+					{Event: "repair", Node: ip(4)},
+					{Event: "repair", Edge: ip(3)},
+				},
+				Repeat: 2,
+			},
+			Reps: 2,
+		},
 	}
 }
 

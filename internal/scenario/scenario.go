@@ -83,6 +83,91 @@ type TrafficSpec struct {
 	Capacity float64 `json:"capacity,omitempty"`
 }
 
+// TimelineEventSpec is one ordered event of a timeline. The event
+// vocabulary:
+//
+//   - "fail-node" (node): the node and its incident edges go down.
+//   - "fail-edge" (edge): one edge goes down; endpoints stay up.
+//   - "repair" (node or edge): the failed item comes back. Repairing a
+//     node restores its incident edges except those individually failed
+//     or attached to a failed neighbor.
+//   - "capacity-set" (edge, capacity): the edge's provisioned capacity
+//     changes; connectivity is untouched and the traffic metric set is
+//     re-evaluated.
+//   - "demand-switch" (model, params): the traffic demand model
+//     switches (e.g. bimodal peak → offpeak) and the traffic metric set
+//     is re-evaluated.
+//
+// Failing an already-failed item or repairing a present one is a no-op
+// row (the previous values repeat). At/Step optionally timestamp the
+// event — at-time (fractional) or at-step (integer) scheduling; an
+// event carries at most one of them, and the annotated sequence must be
+// non-decreasing, so a shuffled schedule fails validation instead of
+// silently replaying out of order.
+type TimelineEventSpec struct {
+	Event string `json:"event"`
+	// Node / Edge target the event (per the vocabulary above). Edge ids
+	// follow generation order, as reported by export and `topostats`.
+	Node *int `json:"node,omitempty"`
+	Edge *int `json:"edge,omitempty"`
+	// At is the at-time annotation, Step the at-step one.
+	At   *float64 `json:"at,omitempty"`
+	Step *int     `json:"step,omitempty"`
+	// Capacity is the new capacity for "capacity-set" (> 0, finite).
+	Capacity *float64 `json:"capacity,omitempty"`
+	// Model/Params name the demand model for "demand-switch".
+	Model  string `json:"model,omitempty"`
+	Params Params `json:"params,omitempty"`
+}
+
+// connectivity maps the event to its robust-engine op, when it has one
+// (traffic events return ok == false). Valid only after validation —
+// required target fields are known present.
+func (ev *TimelineEventSpec) connectivity() (op robust.TimelineOp, id int, ok bool) {
+	switch ev.Event {
+	case "fail-node":
+		return robust.OpFailNode, *ev.Node, true
+	case "fail-edge":
+		return robust.OpFailEdge, *ev.Edge, true
+	case "repair":
+		if ev.Node != nil {
+			return robust.OpRepairNode, *ev.Node, true
+		}
+		return robust.OpRepairEdge, *ev.Edge, true
+	}
+	return 0, 0, false
+}
+
+// maxTimelineEvents bounds the expanded (repeat-unrolled) schedule so a
+// hostile spec cannot make one replication allocate without bound.
+const maxTimelineEvents = 1 << 20
+
+// TimelineSpec replays an ordered failure/repair/traffic event schedule
+// against the generated topology — the temporal stage. Connectivity
+// events run through the epoch-based reverse union-find engine
+// (internal/robust), so a whole outage-and-recovery trajectory costs
+// one near-linear pass per monotone epoch instead of a full traversal
+// per event; capacity-set/demand-switch events re-evaluate the
+// CapTraffic metric set with the current capacities and demand model.
+// Traffic rows evaluate the intact (provisioned) topology — failures
+// feed the connectivity metrics, capacity/demand events the traffic
+// ones. Each replication emits one TimelinePoint per event, in order.
+type TimelineSpec struct {
+	// Events is the ordered schedule (at least one event).
+	Events []TimelineEventSpec `json:"events"`
+	// Repeat replays the whole schedule N times back-to-back without
+	// resetting state — newtest-style stress mode; periodic fail/repair
+	// cycles model recurring outages (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// Metrics is the connectivity metric set traced per event (default
+	// {"lcc"}; must be CapMasked). Timelines with edge-targeted events
+	// support only {"lcc"}.
+	Metrics []string `json:"metrics,omitempty"`
+	// Mode selects the connectivity evaluation path: "auto" (default),
+	// "epoch", or "masked" — the parity tests pin the two bit-identical.
+	Mode string `json:"mode,omitempty"`
+}
+
 // AttackSpec runs a robustness sweep through the attack registry
 // (internal/attackreg).
 type AttackSpec struct {
@@ -108,12 +193,13 @@ type AttackSpec struct {
 // value round-trips through JSON; running the unmarshaled copy produces
 // byte-identical output.
 type Scenario struct {
-	Name     string       `json:"name,omitempty"`
-	Generate GenerateSpec `json:"generate"`
-	Measure  *MeasureSpec `json:"measure,omitempty"`
-	Route    *RouteSpec   `json:"route,omitempty"`
-	Traffic  *TrafficSpec `json:"traffic,omitempty"`
-	Attack   *AttackSpec  `json:"attack,omitempty"`
+	Name     string        `json:"name,omitempty"`
+	Generate GenerateSpec  `json:"generate"`
+	Measure  *MeasureSpec  `json:"measure,omitempty"`
+	Route    *RouteSpec    `json:"route,omitempty"`
+	Traffic  *TrafficSpec  `json:"traffic,omitempty"`
+	Attack   *AttackSpec   `json:"attack,omitempty"`
+	Timeline *TimelineSpec `json:"timeline,omitempty"`
 	// Seeds are explicit per-replication seeds; Reps pads beyond them
 	// with seeds derived from the last explicit one (or, with no Seeds,
 	// from the generator's "seed" parameter). One replication with the
@@ -243,17 +329,148 @@ func (s *Scenario) checkStages() error {
 		if _, err := attackreg.Resolve(atk, s.Attack.Params); err != nil {
 			return err
 		}
-		for _, f := range s.Attack.Fracs {
-			if f < 0 || f > 1 {
-				return errs.BadParamf("scenario %q: attack fraction %v out of [0,1]", s.describe(), f)
-			}
+		if err := robust.ValidateFracs(s.Attack.Fracs); err != nil {
+			return errs.BadParamf("scenario %q: %v", s.describe(), err)
 		}
 		if s.Attack.Trials < 0 {
 			return errs.BadParamf("scenario %q: negative attack trials", s.describe())
 		}
 	}
+	if tl := s.Timeline; tl != nil {
+		if err := s.checkTimeline(tl); err != nil {
+			return err
+		}
+	}
 	if s.Reps < 0 {
 		return errs.BadParamf("scenario %q: negative reps", s.describe())
+	}
+	return nil
+}
+
+// checkTimeline validates the timeline stage statically: event
+// vocabulary, required/forbidden target fields, monotone at/step
+// annotations, resolvable demand models, a CapMasked metric set, and a
+// bounded expanded schedule. Node/edge ids are range-checked per
+// replication at replay time (the topology size is not known until
+// generation). Errors wrap errs.ErrBadParam.
+func (s *Scenario) checkTimeline(tl *TimelineSpec) error {
+	bad := func(format string, args ...any) error {
+		return errs.BadParamf("scenario %q: timeline: "+format, append([]any{s.describe()}, args...)...)
+	}
+	if len(tl.Events) == 0 {
+		return bad("needs at least one event")
+	}
+	if tl.Repeat < 0 {
+		return bad("negative repeat %d", tl.Repeat)
+	}
+	repeat := tl.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	if total := len(tl.Events) * repeat; total > maxTimelineEvents {
+		return bad("expanded schedule has %d events (max %d)", total, maxTimelineEvents)
+	}
+	if _, err := robust.ParseTimelineMode(tl.Mode); err != nil {
+		return bad("%v", err)
+	}
+	hasEdgeEvents := false
+	var prevAt *float64
+	var prevStep *int
+	for i, ev := range tl.Events {
+		where := func(format string, args ...any) error {
+			return bad("event %d (%s): "+format, append([]any{i, ev.Event}, args...)...)
+		}
+		needNode, needEdge, needCapacity := false, false, false
+		switch ev.Event {
+		case "fail-node":
+			needNode = true
+		case "fail-edge":
+			needEdge = true
+		case "repair":
+			if (ev.Node == nil) == (ev.Edge == nil) {
+				return where("needs exactly one of node or edge")
+			}
+			needNode, needEdge = ev.Node != nil, ev.Edge != nil
+		case "capacity-set":
+			needEdge, needCapacity = true, true
+		case "demand-switch":
+			// Model may be empty — the registry's "" alias is gravity,
+			// matching TrafficSpec.
+		default:
+			return bad("event %d: unknown event %q", i, ev.Event)
+		}
+		if needNode != (ev.Node != nil) {
+			return where("node field mismatch")
+		}
+		if needEdge != (ev.Edge != nil) {
+			return where("edge field mismatch")
+		}
+		if needCapacity != (ev.Capacity != nil) {
+			return where("capacity field mismatch")
+		}
+		if ev.Event != "demand-switch" && (ev.Model != "" || len(ev.Params) > 0) {
+			return where("model/params apply only to demand-switch")
+		}
+		if ev.Node != nil && *ev.Node < 0 {
+			return where("negative node %d", *ev.Node)
+		}
+		if ev.Edge != nil && *ev.Edge < 0 {
+			return where("negative edge %d", *ev.Edge)
+		}
+		if ev.Capacity != nil && !(*ev.Capacity > 0 && !math.IsInf(*ev.Capacity, 0)) {
+			// Zero is rejected too: the traffic stage substitutes its
+			// default for non-positive capacities, so "set to 0" would
+			// silently evaluate as "set to the default".
+			return where("capacity must be positive and finite, got %v", *ev.Capacity)
+		}
+		if ev.Event == "demand-switch" {
+			dm, err := trafficreg.Lookup(ev.Model)
+			if err != nil {
+				return where("%v", err)
+			}
+			if _, err := trafficreg.Resolve(dm, ev.Params); err != nil {
+				return where("%v", err)
+			}
+		}
+		if ev.Event == "fail-edge" || (ev.Event == "repair" && ev.Edge != nil) {
+			hasEdgeEvents = true
+		}
+		if ev.At != nil && ev.Step != nil {
+			return where("carries both at and step")
+		}
+		if ev.At != nil {
+			if math.IsNaN(*ev.At) || math.IsInf(*ev.At, 0) {
+				return where("at %v is not a finite time", *ev.At)
+			}
+			if prevAt != nil && *ev.At < *prevAt {
+				return where("at %v precedes earlier event at %v", *ev.At, *prevAt)
+			}
+			prevAt = ev.At
+		}
+		if ev.Step != nil {
+			if *ev.Step < 0 {
+				return where("negative step %d", *ev.Step)
+			}
+			if prevStep != nil && *ev.Step < *prevStep {
+				return where("step %d precedes earlier event step %d", *ev.Step, *prevStep)
+			}
+			prevStep = ev.Step
+		}
+	}
+	if len(tl.Metrics) > 0 {
+		seen := map[string]bool{}
+		for _, name := range tl.Metrics {
+			if seen[name] {
+				return bad("duplicate metric %q", name)
+			}
+			seen[name] = true
+		}
+		if _, err := metricreg.ResolveMasked(tl.Metrics, 0); err != nil {
+			return bad("%v", err)
+		}
+		if hasEdgeEvents && !(len(tl.Metrics) == 1 && tl.Metrics[0] == "lcc") {
+			return bad("edge-targeted events trace only the \"lcc\" metric, got %v", tl.Metrics)
+		}
 	}
 	return nil
 }
@@ -365,17 +582,40 @@ type TrafficSummary struct {
 	Jain float64 `json:"jain"`
 }
 
+// TimelinePoint is one timeline event's output row: the connectivity
+// metric set after the event, plus — on capacity-set/demand-switch
+// events — the re-evaluated traffic summary.
+type TimelinePoint struct {
+	// Index is the event's position in the expanded (repeat-unrolled)
+	// schedule.
+	Index int `json:"index"`
+	// Event is the spec's event name; Node/Edge echo its target.
+	Event string `json:"event"`
+	Node  *int   `json:"node,omitempty"`
+	Edge  *int   `json:"edge,omitempty"`
+	// Time echoes the event's at (or step) annotation when it has one.
+	Time *float64 `json:"time,omitempty"`
+	// Metrics holds the connectivity metric set evaluated on the
+	// post-event failure state (traffic events repeat the pre-event
+	// values — they do not change connectivity).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Traffic is the CapTraffic summary under the current capacities
+	// and demand model, present on capacity-set/demand-switch rows.
+	Traffic *TrafficSummary `json:"traffic,omitempty"`
+}
+
 // RepResult is one replication's output.
 type RepResult struct {
-	Seed    int64                      `json:"seed"`
-	Nodes   int                        `json:"nodes"`
-	Edges   int                        `json:"edges"`
-	Profile *metrics.Profile           `json:"profile,omitempty"`
-	Degrees *DegreeSummary             `json:"degrees,omitempty"`
-	Metrics map[string]metricreg.Value `json:"metrics,omitempty"`
-	Route   *RouteSummary              `json:"route,omitempty"`
-	Traffic *TrafficSummary            `json:"traffic,omitempty"`
-	Attack  []robust.SweepPoint        `json:"attack,omitempty"`
+	Seed     int64                      `json:"seed"`
+	Nodes    int                        `json:"nodes"`
+	Edges    int                        `json:"edges"`
+	Profile  *metrics.Profile           `json:"profile,omitempty"`
+	Degrees  *DegreeSummary             `json:"degrees,omitempty"`
+	Metrics  map[string]metricreg.Value `json:"metrics,omitempty"`
+	Route    *RouteSummary              `json:"route,omitempty"`
+	Traffic  *TrafficSummary            `json:"traffic,omitempty"`
+	Attack   []robust.SweepPoint        `json:"attack,omitempty"`
+	Timeline []TimelinePoint            `json:"timeline,omitempty"`
 }
 
 // Result is one scenario's full output: a RepResult per replication, in
@@ -422,6 +662,13 @@ func (r *Result) Format() string {
 	if r.Scenario.Attack != nil {
 		header = append(header, "lcc@fracs")
 	}
+	tlPrimary := "lcc"
+	if tl := r.Scenario.Timeline; tl != nil {
+		if len(tl.Metrics) > 0 {
+			tlPrimary = tl.Metrics[0]
+		}
+		header = append(header, "timeline("+tlPrimary+")")
+	}
 	rows := make([][]string, 0, len(r.Reps))
 	for i, rep := range r.Reps {
 		row := []string{
@@ -464,9 +711,27 @@ func (r *Result) Format() string {
 			}
 			row = append(row, strings.Join(cells, " "))
 		}
+		if rep.Timeline != nil {
+			cells := make([]string, len(rep.Timeline))
+			for k, pt := range rep.Timeline {
+				val := f4(pt.Metrics[tlPrimary])
+				if pt.Traffic != nil {
+					val = "tput:" + f4(pt.Traffic.Throughput)
+				}
+				cells[k] = fmt.Sprintf("%d:%s=%s", pt.Index, pt.Event, val)
+			}
+			row = append(row, strings.Join(cells, " "))
+		}
 		rows = append(rows, row)
 	}
 	writeAligned(&b, header, rows)
+	// The trailer mirrors the batch-level "# PARTIAL:" line the CLI
+	// emits, so a single scenario's table carries the marker on its own
+	// — a cancelled run rendered in isolation is never mistaken for a
+	// complete one.
+	if r.Partial {
+		fmt.Fprintf(&b, "# PARTIAL: %d of %d reps\n", len(r.Reps), r.Scenario.NumReps())
+	}
 	return b.String()
 }
 
